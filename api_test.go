@@ -1,0 +1,302 @@
+package radixdecluster
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// buildRelations makes a larger/smaller pair joined on "key" with two
+// payload columns each; every key matches exactly once.
+func buildRelations(t *testing.T, n int, seed uint64) (*Relation, *Relation) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 0))
+	keys := make([]int32, n)
+	for i := range keys {
+		keys[i] = int32(i)
+	}
+	rng.Shuffle(n, func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	mk := func(name string, scale int32) *Relation {
+		a := make([]int32, n)
+		b := make([]int32, n)
+		for i := range a {
+			a[i] = keys[i] * scale
+			b[i] = keys[i]*scale + 1
+		}
+		k := make([]int32, n)
+		copy(k, keys)
+		rel, err := NewRelation(name,
+			Column{Name: "key", Values: k},
+			Column{Name: "a1", Values: a},
+			Column{Name: "a2", Values: b},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rel
+	}
+	larger := mk("larger", 2)
+	// Re-shuffle the smaller side's key order so the join is not
+	// positional.
+	rng.Shuffle(n, func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	smaller := mk("smaller", 5)
+	return larger, smaller
+}
+
+func checkJoinResult(t *testing.T, res *Result, n int, tag string) {
+	t.Helper()
+	if res.N != n {
+		t.Fatalf("%s: N = %d, want %d", tag, res.N, n)
+	}
+	la, err := res.Column("larger.a1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := res.Column("smaller.a1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := res.Column("smaller.a2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row i joined key k: larger.a1 = 2k, smaller.a1 = 5k,
+	// smaller.a2 = 5k+1. Cross-check the invariants per row.
+	for i := 0; i < res.N; i++ {
+		k := la[i] / 2
+		if sa[i] != 5*k || sb[i] != 5*k+1 {
+			t.Fatalf("%s: row %d inconsistent: a1=%d sa=%d sb=%d", tag, i, la[i], sa[i], sb[i])
+		}
+	}
+}
+
+func TestProjectJoinAllStrategies(t *testing.T) {
+	const n = 2000
+	larger, smaller := buildRelations(t, n, 7)
+	for _, st := range []Strategy{
+		AutoStrategy, DSMPostDecluster, DSMPre,
+		NSMPreHash, NSMPrePhash, NSMPostDecluster, NSMPostJive,
+	} {
+		res, err := ProjectJoin(JoinQuery{
+			Larger: larger, Smaller: smaller,
+			LargerKey: "key", SmallerKey: "key",
+			LargerProject:  []string{"a1", "a2"},
+			SmallerProject: []string{"a1", "a2"},
+			Strategy:       st,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", st, err)
+		}
+		checkJoinResult(t, res, n, st.String())
+		if res.Timing.Total <= 0 {
+			t.Fatalf("%v: no timing", st)
+		}
+		if res.Plan == "" {
+			t.Fatalf("%v: no plan info", st)
+		}
+	}
+}
+
+func TestProjectJoinExplicitMethods(t *testing.T) {
+	larger, smaller := buildRelations(t, 1500, 9)
+	res, err := ProjectJoin(JoinQuery{
+		Larger: larger, Smaller: smaller,
+		LargerKey: "key", SmallerKey: "key",
+		LargerProject:  []string{"a1"},
+		SmallerProject: []string{"a2"},
+		Strategy:       DSMPostDecluster,
+		LargerMethod:   ClusterMethod,
+		SmallerMethod:  DeclusterMethod,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 1500 {
+		t.Fatalf("N = %d", res.N)
+	}
+	la, _ := res.Column("larger.a1")
+	sb, _ := res.Column("smaller.a2")
+	for i := range la {
+		if sb[i] != la[i]/2*5+1 {
+			t.Fatalf("row %d: a1=%d a2=%d", i, la[i], sb[i])
+		}
+	}
+}
+
+func TestProjectJoinErrors(t *testing.T) {
+	larger, smaller := buildRelations(t, 10, 1)
+	if _, err := ProjectJoin(JoinQuery{Larger: larger}); err == nil {
+		t.Fatal("missing smaller not rejected")
+	}
+	q := JoinQuery{
+		Larger: larger, Smaller: smaller,
+		LargerKey: "nope", SmallerKey: "key",
+	}
+	if _, err := ProjectJoin(q); err == nil {
+		t.Fatal("bad key column not rejected")
+	}
+	q.LargerKey, q.LargerProject = "key", []string{"zz"}
+	if _, err := ProjectJoin(q); err == nil {
+		t.Fatal("bad projection column not rejected")
+	}
+}
+
+func TestRelationAccessors(t *testing.T) {
+	r, err := NewRelation("t", Column{Name: "x", Values: []int32{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 || r.Width() != 1 {
+		t.Fatalf("Len=%d Width=%d", r.Len(), r.Width())
+	}
+	if names := r.ColumnNames(); len(names) != 1 || names[0] != "x" {
+		t.Fatalf("names = %v", names)
+	}
+	if _, err := r.Column("y"); err == nil {
+		t.Fatal("missing column not rejected")
+	}
+	if _, err := NewRelation("bad",
+		Column{Name: "a", Values: []int32{1}},
+		Column{Name: "b", Values: []int32{1, 2}}); err == nil {
+		t.Fatal("ragged relation not rejected")
+	}
+}
+
+func TestLowLevelOperators(t *testing.T) {
+	n := 4096
+	rng := rand.New(rand.NewPCG(3, 3))
+	oids := make([]OID, n)
+	for i := range oids {
+		oids[i] = OID(rng.IntN(n))
+	}
+	h := Pentium4()
+	bits, ignore := PlanClusterBits(h, n, 4)
+	if bits < 0 || ignore < 0 {
+		t.Fatalf("bits=%d ignore=%d", bits, ignore)
+	}
+	cl, err := ClusterOIDs(oids, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := make([]int32, n)
+	for i := range col {
+		col[i] = int32(i) * 3
+	}
+	fetched, err := Fetch(col, cl.OIDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := PlanWindowTuples(h, 4)
+	out, err := Decluster(fetched, cl.ResultPos, cl.Clusters, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// out[pos] must equal col[oids[pos]]: the projection in the
+	// original join-index order.
+	for pos, o := range oids {
+		if out[pos] != int32(o)*3 {
+			t.Fatalf("out[%d] = %d, want %d", pos, out[pos], int32(o)*3)
+		}
+	}
+	if _, err := Fetch(col, []OID{OID(n)}); err == nil {
+		t.Fatal("out-of-range fetch not rejected")
+	}
+}
+
+func TestSortOIDs(t *testing.T) {
+	oids := []OID{3, 1, 2, 0}
+	payload := []OID{30, 10, 20, 0}
+	s, p, err := SortOIDs(oids, payload, Pentium4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s {
+		if s[i] != OID(i) || p[i] != OID(i)*10 {
+			t.Fatalf("sorted: %v %v", s, p)
+		}
+	}
+}
+
+func TestDeclusterStrings(t *testing.T) {
+	n := 500
+	rng := rand.New(rand.NewPCG(8, 8))
+	oids := make([]OID, n)
+	for i := range oids {
+		oids[i] = OID(rng.IntN(n))
+	}
+	cl, err := ClusterOIDs(oids, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]string, n)
+	for i, pos := range cl.ResultPos {
+		vals[i] = "s" + string(rune('a'+int(pos)%26))
+	}
+	pc, err := DeclusterStrings(vals, cl.ResultPos, cl.Clusters, 64, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Len() != n || pc.Pages() < 1 {
+		t.Fatalf("Len=%d Pages=%d", pc.Len(), pc.Pages())
+	}
+	for i := 0; i < n; i += 31 {
+		got, err := pc.At(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := "s" + string(rune('a'+i%26))
+		if got != want {
+			t.Fatalf("At(%d) = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestPlanJoin(t *testing.T) {
+	larger, smaller := buildRelations(t, 4000, 2)
+	p, err := PlanJoin(JoinQuery{
+		Larger: larger, Smaller: smaller,
+		LargerKey: "key", SmallerKey: "key",
+		LargerProject: []string{"a1"}, SmallerProject: []string{"a1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.WindowTuples != 64<<10 {
+		t.Fatalf("WindowTuples = %d", p.WindowTuples)
+	}
+	if p.ModeledMs <= 0 {
+		t.Fatalf("ModeledMs = %g", p.ModeledMs)
+	}
+	if p.ScalabilityLimit != 512*1024*1024 {
+		t.Fatalf("ScalabilityLimit = %d", p.ScalabilityLimit)
+	}
+	if _, err := PlanJoin(JoinQuery{}); err == nil {
+		t.Fatal("empty query not rejected")
+	}
+}
+
+func TestCalibratePublic(t *testing.T) {
+	h, err := Calibrate(Pentium4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Levels) < 2 {
+		t.Fatalf("calibrated %d levels", len(h.Levels))
+	}
+}
+
+func TestHierarchyRoundTrip(t *testing.T) {
+	h := Pentium4()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Levels[0].SizeBytes != 16<<10 || !h.Levels[2].TLB {
+		t.Fatalf("unexpected hierarchy: %+v", h)
+	}
+	var zero Hierarchy
+	if err := zero.Validate(); err != nil {
+		t.Fatal("zero hierarchy must default to Pentium4")
+	}
+}

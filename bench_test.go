@@ -1,0 +1,268 @@
+package radixdecluster
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"radixdecluster/internal/core"
+	"radixdecluster/internal/experiments"
+	"radixdecluster/internal/join"
+	"radixdecluster/internal/mem"
+	"radixdecluster/internal/posjoin"
+	"radixdecluster/internal/radix"
+)
+
+// ---------------------------------------------------------------------------
+// One benchmark per paper figure: each iteration regenerates the
+// figure's full data series at Quick scale. Use cmd/radixbench for
+// the paper-scale tables.
+// ---------------------------------------------------------------------------
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	r, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.Config{Quick: true, Seed: 42}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7aDeclusterWindow(b *testing.B)  { benchFigure(b, "fig7a") }
+func BenchmarkFig7bComponents(b *testing.B)       { benchFigure(b, "fig7b") }
+func BenchmarkFig8DSMPostStrategies(b *testing.B) { benchFigure(b, "fig8") }
+func BenchmarkFig9aRadixCluster(b *testing.B)     { benchFigure(b, "fig9a") }
+func BenchmarkFig9bPartHashJoin(b *testing.B)     { benchFigure(b, "fig9b") }
+func BenchmarkFig9cClustPosJoin(b *testing.B)     { benchFigure(b, "fig9c") }
+func BenchmarkFig9dDecluster(b *testing.B)        { benchFigure(b, "fig9d") }
+func BenchmarkFig9eLeftJive(b *testing.B)         { benchFigure(b, "fig9e") }
+func BenchmarkFig9fRightJive(b *testing.B)        { benchFigure(b, "fig9f") }
+func BenchmarkFig10aProjectivity(b *testing.B)    { benchFigure(b, "fig10a") }
+func BenchmarkFig10bHitRate(b *testing.B)         { benchFigure(b, "fig10b") }
+func BenchmarkFig10cCardinality(b *testing.B)     { benchFigure(b, "fig10c") }
+func BenchmarkFig11Sparse(b *testing.B)           { benchFigure(b, "fig11") }
+func BenchmarkFig12VarsizePages(b *testing.B)     { benchFigure(b, "fig12") }
+func BenchmarkCalibrate(b *testing.B)             { benchFigure(b, "calib") }
+
+// ---------------------------------------------------------------------------
+// Operator-level benchmarks (per-tuple costs, -benchmem).
+// ---------------------------------------------------------------------------
+
+// benchN sizes the operator benchmarks so that columns exceed any
+// contemporary LLC (the paper's "hard join" regime): 4M tuples =
+// 16MB per column.
+const benchN = 4 << 20
+
+func benchDeclusterInput(b *testing.B, bits int) (*core.Clustered, []int32) {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(1, 1))
+	smaller := make([]OID, benchN)
+	for i := range smaller {
+		smaller[i] = OID(rng.IntN(benchN))
+	}
+	cl, err := core.ClusterForDecluster(smaller,
+		radix.Opts{Bits: bits, Ignore: radix.IgnoreBits(benchN, bits)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := make([]int32, benchN)
+	for i, o := range cl.SmallerOIDs {
+		vals[i] = int32(o)
+	}
+	return cl, vals
+}
+
+// BenchmarkDecluster measures the core algorithm with the planned
+// (cache-half) window — the paper's recommended configuration.
+func BenchmarkDecluster(b *testing.B) {
+	cl, vals := benchDeclusterInput(b, 8)
+	window := core.PlanWindow(mem.Pentium4(), 4)
+	b.SetBytes(benchN * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Decluster(vals, cl.ResultPos, cl.Borders, window); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: pure scatter (infinite window) — O(N) CPU, unbounded
+// random writes.
+func BenchmarkDeclusterAblationScatter(b *testing.B) {
+	cl, vals := benchDeclusterInput(b, 8)
+	b.SetBytes(benchN * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ScatterDecluster(vals, cl.ResultPos); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: pure H-way heap merge — cache-friendly but O(N·log H) CPU.
+func BenchmarkDeclusterAblationMerge(b *testing.B) {
+	cl, vals := benchDeclusterInput(b, 8)
+	b.SetBytes(benchN * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MergeDecluster(vals, cl.ResultPos, cl.Borders); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchPairs(b *testing.B) ([]OID, []int32) {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(2, 2))
+	heads := make([]OID, benchN)
+	keys := make([]int32, benchN)
+	for i := range heads {
+		heads[i] = OID(i)
+		keys[i] = int32(rng.Uint32() >> 1)
+	}
+	return heads, keys
+}
+
+func BenchmarkRadixClusterSinglePass(b *testing.B) {
+	heads, keys := benchPairs(b)
+	b.SetBytes(benchN * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := radix.ClusterPairs(heads, keys, true, radix.Opts{Bits: 12}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRadixClusterTwoPass(b *testing.B) {
+	heads, keys := benchPairs(b)
+	b.SetBytes(benchN * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := radix.ClusterPairs(heads, keys, true, radix.Opts{Bits: 12, Passes: []int{6, 6}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashJoinNaive(b *testing.B) {
+	lo, lk := benchPairs(b)
+	so := make([]OID, benchN)
+	sk := make([]int32, benchN)
+	copy(so, lo)
+	copy(sk, lk)
+	b.SetBytes(benchN * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := join.HashJoin(lo, lk, so, sk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashJoinPartitioned(b *testing.B) {
+	lo, lk := benchPairs(b)
+	so := make([]OID, benchN)
+	sk := make([]int32, benchN)
+	copy(so, lo)
+	copy(sk, lk)
+	bits := join.PlanBits(benchN, 4, mem.Pentium4().LLC().Size)
+	b.SetBytes(benchN * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := join.Partitioned(lo, lk, so, sk, radix.Opts{Bits: bits}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchPosJoinOIDs(b *testing.B) ([]OID, []int32) {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(3, 3))
+	oids := make([]OID, benchN)
+	for i := range oids {
+		oids[i] = OID(rng.IntN(benchN))
+	}
+	col := make([]int32, benchN)
+	for i := range col {
+		col[i] = int32(i)
+	}
+	return oids, col
+}
+
+func BenchmarkPosJoinUnsorted(b *testing.B) {
+	oids, col := benchPosJoinOIDs(b)
+	b.SetBytes(benchN * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := posjoin.Unsorted(col, oids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPosJoinClustered(b *testing.B) {
+	oids, col := benchPosJoinOIDs(b)
+	h := mem.Pentium4()
+	bits := radix.OptimalBits(benchN, 4, h.LLC().Size)
+	pos := make([]OID, benchN)
+	for i := range pos {
+		pos[i] = OID(i)
+	}
+	cl, err := radix.ClusterOIDPairs(oids, pos,
+		radix.Opts{Bits: bits, Ignore: radix.IgnoreBits(benchN, bits)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(benchN * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := posjoin.Clustered(col, cl.Key, cl.Borders()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// End-to-end public API benchmark: the paper's query through the
+// winning strategy.
+func BenchmarkProjectJoinDSMPost(b *testing.B) {
+	const n = 64 << 10
+	rng := rand.New(rand.NewPCG(4, 4))
+	keys := make([]int32, n)
+	for i := range keys {
+		keys[i] = int32(i)
+	}
+	rng.Shuffle(n, func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	payload := make([]int32, n)
+	for i := range payload {
+		payload[i] = int32(i)
+	}
+	mk := func(name string) *Relation {
+		k := make([]int32, n)
+		copy(k, keys)
+		r, err := NewRelation(name, Column{Name: "key", Values: k}, Column{Name: "a", Values: payload})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r
+	}
+	larger, smaller := mk("l"), mk("s")
+	q := JoinQuery{
+		Larger: larger, Smaller: smaller,
+		LargerKey: "key", SmallerKey: "key",
+		LargerProject: []string{"a"}, SmallerProject: []string{"a"},
+		Strategy: DSMPostDecluster,
+	}
+	b.SetBytes(n * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ProjectJoin(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

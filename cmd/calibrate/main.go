@@ -1,0 +1,54 @@
+// Command calibrate recovers memory-hierarchy parameters the way the
+// paper's Calibrator utility does (§1.1): footprint and stride sweeps
+// whose time-per-access jumps reveal cache sizes, line sizes, TLB
+// reach and miss latencies. The sweeps run against the cache
+// simulator configured with a known specification, so the output
+// shows recovered-vs-specified side by side — the validation a real
+// calibrator needs before its numbers feed a cost model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"radixdecluster/internal/calibrator"
+	"radixdecluster/internal/mem"
+)
+
+func main() {
+	profile := flag.String("profile", "pentium4", "hierarchy to probe: pentium4 or small")
+	flag.Parse()
+
+	var h mem.Hierarchy
+	switch *profile {
+	case "pentium4":
+		h = mem.Pentium4()
+	case "small":
+		h = mem.Small()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+		os.Exit(1)
+	}
+	fmt.Printf("probing profile %q\n\nspecified:\n", *profile)
+	for _, l := range h.Levels {
+		fmt.Printf("  %s\n", l)
+	}
+	res, err := calibrator.Calibrate(h)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("\nrecovered:")
+	for i, l := range res.Levels {
+		fmt.Printf("  L%d: size=%d bytes, fall-out penalty=%.1f ns\n", i+1, l.Size, l.LatencyNs)
+	}
+	fmt.Printf("  innermost line size: %d bytes\n", res.LineSize)
+	if res.TLBReach > 0 {
+		fmt.Printf("  TLB reach: %d bytes\n", res.TLBReach)
+	}
+	fmt.Println("\nusable hierarchy for the cost model:")
+	for _, l := range res.Hierarchy(4096).Levels {
+		fmt.Printf("  %s\n", l)
+	}
+}

@@ -1,0 +1,100 @@
+// Command joinrun generates a synthetic relation pair and executes
+// the paper's project-join query
+//
+//	SELECT larger.a1..aY, smaller.b1..bZ
+//	FROM larger, smaller WHERE larger.key = smaller.key
+//
+// with a chosen strategy, printing result cardinality, the planner's
+// choices and the per-phase timing breakdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"radixdecluster/internal/mem"
+	"radixdecluster/internal/strategy"
+	"radixdecluster/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 1<<20, "tuples per relation")
+	pi := flag.Int("pi", 4, "projection columns per relation")
+	hitRate := flag.Float64("hitrate", 1, "join hit rate h (result ≈ h*N)")
+	sel := flag.Float64("sel", 1, "selectivity: larger relation is this fraction of its base table")
+	strat := flag.String("strategy", "dsm-post", "dsm-post | dsm-pre | nsm-pre-hash | nsm-pre-phash | nsm-post-decluster | nsm-post-jive")
+	lm := flag.String("lm", "", "larger-side method for dsm-post: u, s or c (empty = auto)")
+	sm := flag.String("sm", "", "smaller-side method for dsm-post: u or d (empty = auto)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	omega := *pi + 1
+	pr, err := workload.GenPair(workload.Params{
+		N: *n, Omega: omega, HitRate: *hitRate,
+		SelLarger: *sel, SelSmaller: 1, Seed: *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	cfg := strategy.Config{Hier: mem.Pentium4()}
+	fmt.Printf("N=%d pi=%d h=%g sel=%g -> expecting %d result tuples\n",
+		*n, *pi, *hitRate, *sel, pr.ExpectedMatches)
+
+	start := time.Now()
+	var res *strategy.Result
+	switch *strat {
+	case "dsm-post", "dsm-pre":
+		l := strategy.DSMSide{OIDs: pr.Larger.SelOIDs, Keys: pr.Larger.SelKeys,
+			Cols: pr.Larger.ProjCols(*pi), BaseN: pr.Larger.BaseN}
+		s := strategy.DSMSide{OIDs: pr.Smaller.SelOIDs, Keys: pr.Smaller.SelKeys,
+			Cols: pr.Smaller.ProjCols(*pi), BaseN: pr.Smaller.BaseN}
+		if *strat == "dsm-pre" {
+			res, err = strategy.DSMPre(l, s, cfg)
+		} else {
+			res, err = strategy.DSMPost(l, s, method(*lm), method(*sm), cfg)
+		}
+	case "nsm-pre-hash", "nsm-pre-phash", "nsm-post-decluster", "nsm-post-jive":
+		if *sel != 1 {
+			fail(fmt.Errorf("NSM strategies join whole base tables; use -sel 1"))
+		}
+		cols := make([]int, *pi)
+		for i := range cols {
+			cols[i] = i + 1
+		}
+		nl := strategy.NSMSide{Rel: pr.Larger.NSM(), KeyCol: 0, ProjCols: cols}
+		ns := strategy.NSMSide{Rel: pr.Smaller.NSM(), KeyCol: 0, ProjCols: cols}
+		switch *strat {
+		case "nsm-pre-hash":
+			res, err = strategy.NSMPre(nl, ns, false, cfg)
+		case "nsm-pre-phash":
+			res, err = strategy.NSMPre(nl, ns, true, cfg)
+		case "nsm-post-decluster":
+			res, err = strategy.NSMPostDecluster(nl, ns, cfg)
+		default:
+			res, err = strategy.NSMPostJive(nl, ns, 0, cfg)
+		}
+	default:
+		err = fmt.Errorf("unknown strategy %q", *strat)
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("strategy=%s result=%d tuples in %v\n", *strat, res.N, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("plan: joinbits=%d largerbits=%d smallerbits=%d window=%d methods=%v/%v\n",
+		res.JoinBits, res.LargerBits, res.SmallerBits, res.Window, res.LargerMethod, res.SmallerMethod)
+	fmt.Printf("phases: %s\n", res.Phases)
+}
+
+func method(s string) strategy.ProjMethod {
+	if s == "" {
+		return strategy.Auto
+	}
+	return strategy.ProjMethod(s[0])
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Command radixbench regenerates the paper's evaluation figures
+// (§4, Figures 7–12) as text tables.
+//
+// Usage:
+//
+//	radixbench                 # run every experiment at default scale
+//	radixbench -fig fig10a     # one experiment
+//	radixbench -full           # paper-scale cardinalities (slow, needs RAM)
+//	radixbench -quick          # smoke-test scale (seconds)
+//	radixbench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"radixdecluster/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "experiment id (empty = all); see -list")
+	full := flag.Bool("full", false, "paper-scale cardinalities (8M/16M tuples)")
+	quick := flag.Bool("quick", false, "smoke-test scale")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Desc)
+		}
+		return
+	}
+	cfg := experiments.Config{Full: *full, Quick: *quick, Seed: *seed}
+	runners := experiments.All()
+	if *fig != "" {
+		r, err := experiments.ByID(*fig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runners = []experiments.Runner{r}
+	}
+	for _, r := range runners {
+		start := time.Now()
+		tbl, err := r.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s: %s\n", tbl.ID, tbl.Title)
+			tbl.Fcsv(os.Stdout)
+			fmt.Println()
+		} else {
+			tbl.Fprint(os.Stdout)
+			fmt.Printf("(%s took %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

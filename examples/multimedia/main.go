@@ -1,0 +1,93 @@
+// Multimedia example: the paper's motivating worst case (§1) — "a
+// join with thousands of projection columns to propagate feature
+// vectors in a multimedia application", where queries "may spend more
+// than 90% of their time in projection".
+//
+// An image table carries a 64-dimensional feature vector per row; a
+// match table (e.g. near-duplicate pairs from an index) joins against
+// it and must propagate the whole vector. The example shows the
+// projection share of total time and why the smaller side's columns
+// need Radix-Decluster rather than unsorted fetches.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	rd "radixdecluster"
+)
+
+const (
+	images = 300_000
+	dims   = 64
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(3, 3))
+
+	// images(id, f0..f63): id is the join key; f* the feature vector.
+	cols := []rd.Column{{Name: "id", Values: make([]int32, images)}}
+	for d := 0; d < dims; d++ {
+		cols = append(cols, rd.Column{Name: fmt.Sprintf("f%d", d), Values: make([]int32, images)})
+	}
+	for i := 0; i < images; i++ {
+		cols[0].Values[i] = int32(i)
+		for d := 1; d <= dims; d++ {
+			cols[d].Values[i] = int32(rng.Uint32() % 256)
+		}
+	}
+	rng.Shuffle(images, func(i, j int) {
+		for c := range cols {
+			cols[c].Values[i], cols[c].Values[j] = cols[c].Values[j], cols[c].Values[i]
+		}
+	})
+	imgs, err := rd.NewRelation("images", cols...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// matches(id, score): one probe per image, random order.
+	mid := make([]int32, images)
+	score := make([]int32, images)
+	for i := range mid {
+		mid[i] = int32(rng.IntN(images))
+		score[i] = int32(rng.IntN(1000))
+	}
+	matches, err := rd.NewRelation("matches",
+		rd.Column{Name: "id", Values: mid},
+		rd.Column{Name: "score", Values: score},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Propagate the full vector: SELECT matches.score, images.f0..f63.
+	vector := make([]string, dims)
+	for d := range vector {
+		vector[d] = fmt.Sprintf("f%d", d)
+	}
+	for _, pis := range []int{1, 8, dims} {
+		q := rd.JoinQuery{
+			Larger: matches, Smaller: imgs,
+			LargerKey: "id", SmallerKey: "id",
+			LargerProject:  []string{"score"},
+			SmallerProject: vector[:pis],
+			Strategy:       rd.DSMPostDecluster,
+		}
+		res, err := rd.ProjectJoin(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		proj := res.Timing.ReorderJI + res.Timing.ProjectLarger +
+			res.Timing.ProjectSmaller + res.Timing.Decluster
+		fmt.Printf("vector dims=%-3d total=%8.1fms  join=%6.1fms  projection=%8.1fms (%.0f%% of total)\n",
+			pis,
+			float64(res.Timing.Total.Microseconds())/1000,
+			float64(res.Timing.Join.Microseconds())/1000,
+			float64(proj.Microseconds())/1000,
+			100*float64(proj)/float64(res.Timing.Total))
+	}
+	fmt.Println("\nprojection cost scales with vector width and dominates the join itself —")
+	fmt.Println("the paper's case for making projection handling part of the join algorithm.")
+}

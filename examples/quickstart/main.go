@@ -1,0 +1,54 @@
+// Quickstart: run the paper's project-join query on two small
+// relations through the public API, letting the planner choose the
+// strategy, and read back result rows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rd "radixdecluster"
+)
+
+func main() {
+	// orders(key, amount, qty) — the "larger" relation.
+	orders, err := rd.NewRelation("orders",
+		rd.Column{Name: "key", Values: []int32{10, 20, 30, 40, 20, 10}},
+		rd.Column{Name: "amount", Values: []int32{100, 200, 300, 400, 250, 150}},
+		rd.Column{Name: "qty", Values: []int32{1, 2, 3, 4, 5, 6}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// customers(key, region) — the "smaller" relation.
+	customers, err := rd.NewRelation("customers",
+		rd.Column{Name: "key", Values: []int32{10, 20, 30}},
+		rd.Column{Name: "region", Values: []int32{7, 8, 9}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// SELECT orders.amount, orders.qty, customers.region
+	// FROM orders, customers WHERE orders.key = customers.key
+	res, err := rd.ProjectJoin(rd.JoinQuery{
+		Larger: orders, Smaller: customers,
+		LargerKey: "key", SmallerKey: "key",
+		LargerProject:  []string{"amount", "qty"},
+		SmallerProject: []string{"region"},
+		Strategy:       rd.AutoStrategy,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d result rows; plan: %s\n", res.N, res.Plan)
+	fmt.Println(res.Names)
+	for i := 0; i < res.N; i++ {
+		fmt.Println(res.Row(i))
+	}
+	fmt.Printf("phases: join=%v projections=%v total=%v\n",
+		res.Timing.Join,
+		res.Timing.ProjectLarger+res.Timing.ProjectSmaller+res.Timing.Decluster,
+		res.Timing.Total)
+}

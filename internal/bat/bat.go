@@ -1,0 +1,214 @@
+// Package bat implements the DSM (Decomposition Storage Model)
+// substrate of the reproduction: Binary Association Tables.
+//
+// In MonetDB — the paper's experimentation platform — every relational
+// column is stored as a separate [void,value] BAT: the head is a
+// "void" (virtual-oid) column, a densely ascending oid sequence
+// (0,1,2,...) that takes no physical storage, and the tail holds the
+// values as a contiguous array. An oid is a plain integer starting at
+// 0 for the first entry, so a Positional-Join equals array lookup
+// (paper §3). Intermediate results such as join-indices are [oid,oid]
+// BATs with two materialised columns.
+//
+// This package keeps the same model with Go slices: a Column is the
+// tail array of a [void,value] BAT, an OIDColumn is the tail of a
+// [void,oid] BAT, and Pairs is a materialised [oid,oid] BAT. The
+// mark() operator of the paper — replace the head of a BAT by a fresh
+// densely ascending oid sequence — is the Mark* family below; because
+// void heads are virtual, marking is O(1) and returns views.
+package bat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OID is a MonetDB object identifier: a dense integer record number
+// in [0,N). The paper's relations reach 16M tuples; 32 bits suffice
+// and keep join-indices half the size of int64, which matters for the
+// cache behaviour this repository studies.
+type OID = uint32
+
+// Column is the tail of a [void,value] BAT holding 4-byte integer
+// values, the column type of all the paper's experiments. Values is
+// addressable by position: Values[oid] is the attribute value of the
+// tuple with that oid.
+type Column struct {
+	Name   string
+	Values []int32
+}
+
+// NewColumn wraps values (not copied) as a named column.
+func NewColumn(name string, values []int32) *Column {
+	return &Column{Name: name, Values: values}
+}
+
+// Len returns the number of tuples.
+func (c *Column) Len() int { return len(c.Values) }
+
+// At returns the value at position oid.
+func (c *Column) At(o OID) int32 { return c.Values[o] }
+
+// Clone returns a deep copy.
+func (c *Column) Clone() *Column {
+	v := make([]int32, len(c.Values))
+	copy(v, c.Values)
+	return &Column{Name: c.Name, Values: v}
+}
+
+// OIDColumn is the tail of a [void,oid] BAT: positions map to oids
+// that point into some other table. JOIN_LARGER, CLUST_RESULT and
+// CLUST_SMALLER in the paper's Figures 3 and 4 are of this shape.
+type OIDColumn struct {
+	Name string
+	OIDs []OID
+}
+
+// Len returns the number of entries.
+func (c *OIDColumn) Len() int { return len(c.OIDs) }
+
+// Pairs is a materialised [oid,oid] BAT, e.g. a join-index of
+// [larger-oid, smaller-oid] matches (paper §3, [Val87]).
+type Pairs struct {
+	Left  []OID
+	Right []OID
+}
+
+// NewPairs wraps two equally long oid slices.
+func NewPairs(left, right []OID) (*Pairs, error) {
+	if len(left) != len(right) {
+		return nil, fmt.Errorf("bat: pair columns differ in length: %d vs %d", len(left), len(right))
+	}
+	return &Pairs{Left: left, Right: right}, nil
+}
+
+// Len returns the number of pairs.
+func (p *Pairs) Len() int { return len(p.Left) }
+
+// Clone returns a deep copy.
+func (p *Pairs) Clone() *Pairs {
+	l := make([]OID, len(p.Left))
+	r := make([]OID, len(p.Right))
+	copy(l, p.Left)
+	copy(r, p.Right)
+	return &Pairs{Left: l, Right: r}
+}
+
+// MarkLeft is the paper's mark() applied after reordering a join-index:
+// it returns the [void,oid] view whose tail is the left column. The
+// fresh densely ascending head is virtual, so this is O(1).
+func (p *Pairs) MarkLeft(name string) *OIDColumn { return &OIDColumn{Name: name, OIDs: p.Left} }
+
+// MarkRight returns the [void,oid] view over the right column.
+func (p *Pairs) MarkRight(name string) *OIDColumn { return &OIDColumn{Name: name, OIDs: p.Right} }
+
+// IsDense reports whether oids form the dense sequence base,base+1,...
+func IsDense(oids []OID, base OID) bool {
+	for i, o := range oids {
+		if o != base+OID(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPermutation reports whether oids is a permutation of [0,len).
+// Radix-Decluster's correctness rests on this property of
+// CLUST_RESULT (paper §3.2, property 1).
+func IsPermutation(oids []OID) bool {
+	n := len(oids)
+	seen := make([]bool, n)
+	for _, o := range oids {
+		if int(o) >= n || seen[o] {
+			return false
+		}
+		seen[o] = true
+	}
+	return true
+}
+
+// SortedWithin reports whether oids are ascending inside every
+// [start,end) range of borders — property 2 of §3.2: Radix-Cluster
+// locally respects input order, so a clustered dense column is sorted
+// within each cluster.
+func SortedWithin(oids []OID, borders []Border) bool {
+	for _, b := range borders {
+		seg := oids[b.Start:b.End]
+		if !sort.SliceIsSorted(seg, func(i, j int) bool { return seg[i] < seg[j] }) {
+			return false
+		}
+	}
+	return true
+}
+
+// Border delimits one cluster as a half-open [Start,End) range into a
+// clustered column. The radix_count operator of Figure 4 produces
+// these (CLUST_BORDERS).
+type Border struct {
+	Start, End int
+}
+
+// Size returns the number of tuples in the cluster.
+func (b Border) Size() int { return b.End - b.Start }
+
+// ValidateBorders checks that borders tile [0,n) contiguously.
+func ValidateBorders(borders []Border, n int) error {
+	pos := 0
+	for i, b := range borders {
+		if b.Start != pos {
+			return fmt.Errorf("bat: border %d starts at %d, want %d", i, b.Start, pos)
+		}
+		if b.End < b.Start {
+			return fmt.Errorf("bat: border %d has negative size", i)
+		}
+		pos = b.End
+	}
+	if pos != n {
+		return fmt.Errorf("bat: borders cover [0,%d), want [0,%d)", pos, n)
+	}
+	return nil
+}
+
+// BordersFromOffsets converts H+1 cluster offsets into H borders.
+func BordersFromOffsets(offsets []int) []Border {
+	if len(offsets) == 0 {
+		return nil
+	}
+	out := make([]Border, len(offsets)-1)
+	for i := range out {
+		out[i] = Border{Start: offsets[i], End: offsets[i+1]}
+	}
+	return out
+}
+
+// VarColumn stores a variable-width (string-like) column the MonetDB
+// way (paper §3 footnote 3): the positional array holds integer byte
+// offsets into a separate heap buffer. Entry i occupies
+// Heap[Offsets[i]:Offsets[i+1]].
+type VarColumn struct {
+	Name    string
+	Offsets []uint32 // len = N+1
+	Heap    []byte
+}
+
+// NewVarColumn builds a VarColumn from a slice of strings.
+func NewVarColumn(name string, vals []string) *VarColumn {
+	c := &VarColumn{Name: name, Offsets: make([]uint32, 1, len(vals)+1)}
+	for _, v := range vals {
+		c.Heap = append(c.Heap, v...)
+		c.Offsets = append(c.Offsets, uint32(len(c.Heap)))
+	}
+	return c
+}
+
+// Len returns the number of entries.
+func (c *VarColumn) Len() int { return len(c.Offsets) - 1 }
+
+// At returns entry o as a byte slice view into the heap.
+func (c *VarColumn) At(o OID) []byte { return c.Heap[c.Offsets[o]:c.Offsets[o+1]] }
+
+// Size returns the byte length of entry o.
+func (c *VarColumn) Size(o OID) int { return int(c.Offsets[o+1] - c.Offsets[o]) }
+
+// StringAt returns entry o as a string (copies).
+func (c *VarColumn) StringAt(o OID) string { return string(c.At(o)) }

@@ -1,0 +1,49 @@
+package bat
+
+import "fmt"
+
+// Table is a DSM relation: a set of equally long columns, each stored
+// as its own [void,value] BAT. Unlike an NSM relation there is no
+// physical row; the tuple with oid o is the cross-column slice
+// {col.Values[o]}. OLAP queries that touch few columns therefore load
+// only the relevant arrays — the cache-line-usage advantage of DSM
+// the paper builds on.
+type Table struct {
+	Name string
+	Cols []*Column
+}
+
+// NewTable creates a table after checking all columns have equal
+// cardinality.
+func NewTable(name string, cols ...*Column) (*Table, error) {
+	t := &Table{Name: name, Cols: cols}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("bat: table %q has no columns", name)
+	}
+	n := cols[0].Len()
+	for _, c := range cols {
+		if c.Len() != n {
+			return nil, fmt.Errorf("bat: table %q: column %q has %d tuples, want %d", name, c.Name, c.Len(), n)
+		}
+	}
+	return t, nil
+}
+
+// Len returns the cardinality.
+func (t *Table) Len() int { return t.Cols[0].Len() }
+
+// Width returns the number of columns (the paper's ω).
+func (t *Table) Width() int { return len(t.Cols) }
+
+// Column returns the column with the given name.
+func (t *Table) Column(name string) (*Column, error) {
+	for _, c := range t.Cols {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("bat: table %q has no column %q", t.Name, name)
+}
+
+// ColumnAt returns column i.
+func (t *Table) ColumnAt(i int) *Column { return t.Cols[i] }

@@ -1,0 +1,184 @@
+package cachesim
+
+import (
+	"testing"
+
+	"radixdecluster/internal/mem"
+)
+
+func newSim(t *testing.T, h mem.Hierarchy) *Sim {
+	t.Helper()
+	s, err := New(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSequentialScanMissesOncePerLine(t *testing.T) {
+	h := mem.Pentium4()
+	s := newSim(t, h)
+	r := s.Alloc("col", 64<<10) // 64KB
+	for off := 0; off < r.Size; off += 4 {
+		s.Load(r, off, 4)
+	}
+	c := s.Counters()
+	// L1: 32-byte lines → 2048 compulsory misses.
+	if c[0].Misses != 2048 {
+		t.Fatalf("L1 misses = %d, want 2048", c[0].Misses)
+	}
+	// L2: 128-byte lines → 512 compulsory misses.
+	if c[1].Misses != 512 {
+		t.Fatalf("L2 misses = %d, want 512", c[1].Misses)
+	}
+	// TLB: 16 pages.
+	if c[2].Misses != 16 {
+		t.Fatalf("TLB misses = %d, want 16", c[2].Misses)
+	}
+	// Sequential misses dominate: all but the first per level.
+	if c[0].SeqMisses < c[0].Misses-1 {
+		t.Fatalf("L1 seq misses = %d of %d", c[0].SeqMisses, c[0].Misses)
+	}
+}
+
+func TestRepeatedScanOfCachedRegionHits(t *testing.T) {
+	s := newSim(t, mem.Pentium4())
+	r := s.Alloc("small", 8<<10) // fits L1 (16KB)
+	for pass := 0; pass < 2; pass++ {
+		for off := 0; off < r.Size; off += 32 {
+			s.Load(r, off, 4)
+		}
+	}
+	c := s.Counters()
+	if c[0].Misses != 256 { // only the first pass misses
+		t.Fatalf("L1 misses = %d, want 256", c[0].Misses)
+	}
+	if c[0].Hits != 256 {
+		t.Fatalf("L1 hits = %d, want 256", c[0].Hits)
+	}
+}
+
+func TestThrashingWhenRegionExceedsCache(t *testing.T) {
+	s := newSim(t, mem.Small()) // L1 = 1KB, 32B lines, 2-way
+	r := s.Alloc("big", 4<<10)  // 4x the L1
+	for pass := 0; pass < 2; pass++ {
+		for off := 0; off < r.Size; off += 32 {
+			s.Load(r, off, 4)
+		}
+	}
+	c := s.Counters()
+	// Region 4x cache: second pass must miss again on (almost) every line.
+	if c[0].Misses < 250 {
+		t.Fatalf("L1 misses = %d, want ≈256 (two full thrashing passes)", c[0].Misses)
+	}
+}
+
+func TestTLBFullyAssociative(t *testing.T) {
+	s := newSim(t, mem.Pentium4()) // 64-entry TLB
+	r := s.Alloc("pages", 64*4096)
+	// Touch 64 pages twice: second round must be all TLB hits.
+	for pass := 0; pass < 2; pass++ {
+		for p := 0; p < 64; p++ {
+			s.Load(r, p*4096, 4)
+		}
+	}
+	c := s.Counters()
+	tlb := c[len(c)-1]
+	if tlb.Misses != 64 {
+		t.Fatalf("TLB misses = %d, want 64", tlb.Misses)
+	}
+	if tlb.Hits != 64 {
+		t.Fatalf("TLB hits = %d, want 64", tlb.Hits)
+	}
+}
+
+func TestTLBEvictsBeyondCapacity(t *testing.T) {
+	s := newSim(t, mem.Pentium4())
+	r := s.Alloc("pages", 65*4096)
+	for pass := 0; pass < 2; pass++ {
+		for p := 0; p < 65; p++ {
+			s.Load(r, p*4096, 4)
+		}
+	}
+	tlbC := s.Counters()
+	tlb := tlbC[len(tlbC)-1]
+	// 65 pages round-robin through a 64-entry LRU TLB: every access misses.
+	if tlb.Misses != 130 {
+		t.Fatalf("TLB misses = %d, want 130", tlb.Misses)
+	}
+}
+
+func TestAccessSpanningLines(t *testing.T) {
+	s := newSim(t, mem.Pentium4())
+	r := s.Alloc("span", 256)
+	s.Load(r, 30, 8) // crosses a 32-byte L1 line boundary
+	if got := s.Counters()[0].Misses; got != 2 {
+		t.Fatalf("L1 misses = %d, want 2 (access spans two lines)", got)
+	}
+}
+
+func TestRegionsDoNotShareLines(t *testing.T) {
+	s := newSim(t, mem.Pentium4())
+	a := s.Alloc("a", 10)
+	b := s.Alloc("b", 10)
+	s.Load(a, 0, 4)
+	s.Load(b, 0, 4)
+	if got := s.Counters()[0].Misses; got != 2 {
+		t.Fatalf("L1 misses = %d, want 2 (separate regions, separate lines)", got)
+	}
+}
+
+func TestResetKeepsContents(t *testing.T) {
+	s := newSim(t, mem.Pentium4())
+	r := s.Alloc("r", 4096)
+	s.Load(r, 0, 4)
+	s.Reset()
+	s.Load(r, 0, 4) // still cached from before the reset
+	c := s.Counters()
+	if c[0].Misses != 0 || c[0].Hits != 1 {
+		t.Fatalf("after reset: misses=%d hits=%d, want 0/1", c[0].Misses, c[0].Hits)
+	}
+}
+
+func TestModeledNanosOrdering(t *testing.T) {
+	// A random scatter over a large region must model slower than a
+	// sequential scan of the same byte volume.
+	seq := newSim(t, mem.Pentium4())
+	r1 := seq.Alloc("seq", 4<<20)
+	for off := 0; off < r1.Size; off += 4 {
+		seq.Load(r1, off, 4)
+	}
+	rnd := newSim(t, mem.Pentium4())
+	r2 := rnd.Alloc("rnd", 4<<20)
+	step := 4097 * 4 // co-prime stride ≈ random page-hopping
+	off := 0
+	for i := 0; i < (4<<20)/4; i++ {
+		rnd.Load(r2, off, 4)
+		off = (off + step) % (r2.Size - 4)
+	}
+	if seq.ModeledNanos() >= rnd.ModeledNanos() {
+		t.Fatalf("sequential (%.0fns) should model faster than random (%.0fns)",
+			seq.ModeledNanos(), rnd.ModeledNanos())
+	}
+}
+
+func TestAccessOutOfRangePanics(t *testing.T) {
+	s := newSim(t, mem.Pentium4())
+	r := s.Alloc("r", 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-region access must panic")
+		}
+	}()
+	s.Load(r, 8, 4)
+}
+
+func TestNewRejectsBadHierarchy(t *testing.T) {
+	if _, err := New(mem.Hierarchy{}); err == nil {
+		t.Fatal("empty hierarchy not rejected")
+	}
+	tlbOnly := mem.Hierarchy{Levels: []mem.Level{{Name: "TLB", Size: 4096, LineSize: 4096, IsTLB: true}}}
+	if _, err := New(tlbOnly); err == nil {
+		t.Fatal("hierarchy without data caches not rejected")
+	}
+}

@@ -1,0 +1,207 @@
+// Package compress implements the lightweight column compression the
+// paper sketches in §5 footnote 5: "Preliminary experiments with
+// lightweight data (de-)compression indicate that a negligible CPU
+// investment can more than half the needed I/O bandwidth on problems
+// like TPC-H. As I/O bandwidth is precious, this looks a worthwhile
+// approach to help scale DSM to disk-based scenarios."
+//
+// Two classic lightweight schemes for integer columns:
+//
+//   - Frame-of-reference (FOR): a block stores min(block) plus each
+//     value's offset from it in the smallest fixed bit width that
+//     fits. Dense oid columns and clustered join-index halves — this
+//     repository's bread and butter — compress extremely well.
+//   - Delta+FOR: consecutive differences first, then FOR; ideal for
+//     sorted or partially clustered columns where deltas are tiny.
+//
+// Decompression is a tight, branch-free loop (the "negligible CPU
+// investment"), making the schemes suitable for the sequential bulk
+// reads and writes that the paper's algorithms exclusively issue
+// against DSM fragments.
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// BlockSize is the number of values per compression block. One block
+// of 4-byte values spans 4KB uncompressed — a buffer page.
+const BlockSize = 1024
+
+// Scheme identifies a compression scheme.
+type Scheme byte
+
+const (
+	// FOR is plain frame-of-reference.
+	FOR Scheme = 1
+	// DeltaFOR applies FOR to consecutive differences.
+	DeltaFOR Scheme = 2
+)
+
+// header layout per block:
+//
+//	byte 0:      scheme
+//	byte 1:      bit width w (0..32)
+//	bytes 2-3:   value count (uint16)
+//	bytes 4-7:   reference (int32, little endian): min of the packed
+//	             entries
+//	bytes 8-11:  first value verbatim (DeltaFOR only; 0 for FOR)
+//	payload:     packed offsets — n entries for FOR, n-1 deltas for
+//	             DeltaFOR (the first value lives in the header, so one
+//	             outlier cannot inflate the block's bit width)
+const headerBytes = 12
+
+// Compress encodes a column block-by-block with the given scheme.
+func Compress(values []int32, scheme Scheme) ([]byte, error) {
+	if scheme != FOR && scheme != DeltaFOR {
+		return nil, fmt.Errorf("compress: unknown scheme %d", scheme)
+	}
+	var out []byte
+	for start := 0; start < len(values); start += BlockSize {
+		end := start + BlockSize
+		if end > len(values) {
+			end = len(values)
+		}
+		out = appendBlock(out, values[start:end], scheme)
+	}
+	return out, nil
+}
+
+// Decompress decodes a full column.
+func Decompress(data []byte) ([]int32, error) {
+	var out []int32
+	for len(data) > 0 {
+		if len(data) < headerBytes {
+			return nil, fmt.Errorf("compress: truncated block header (%d bytes)", len(data))
+		}
+		scheme := Scheme(data[0])
+		width := int(data[1])
+		n := int(binary.LittleEndian.Uint16(data[2:]))
+		ref := int32(binary.LittleEndian.Uint32(data[4:]))
+		first := int32(binary.LittleEndian.Uint32(data[8:]))
+		if width > 32 {
+			return nil, fmt.Errorf("compress: bit width %d", width)
+		}
+		packed := n
+		if scheme == DeltaFOR && n > 0 {
+			packed = n - 1
+		}
+		payload := (packed*width + 7) / 8
+		if len(data) < headerBytes+payload {
+			return nil, fmt.Errorf("compress: truncated block payload: need %d bytes, have %d", payload, len(data)-headerBytes)
+		}
+		body := data[headerBytes : headerBytes+payload]
+		switch scheme {
+		case FOR:
+			for i := 0; i < n; i++ {
+				out = append(out, ref+int32(readBits(body, i*width, width)))
+			}
+		case DeltaFOR:
+			if n > 0 {
+				prev := first
+				out = append(out, prev)
+				for i := 0; i < packed; i++ {
+					prev += ref + int32(readBits(body, i*width, width))
+					out = append(out, prev)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("compress: unknown scheme %d in block", scheme)
+		}
+		data = data[headerBytes+payload:]
+	}
+	return out, nil
+}
+
+func appendBlock(out []byte, block []int32, scheme Scheme) []byte {
+	var work []int32
+	var first int32
+	if scheme == DeltaFOR {
+		first = block[0]
+		work = make([]int32, len(block)-1)
+		for i := 1; i < len(block); i++ {
+			work[i-1] = block[i] - block[i-1]
+		}
+	} else {
+		work = block
+	}
+	var ref int32
+	if len(work) > 0 {
+		ref = work[0]
+		for _, v := range work {
+			if v < ref {
+				ref = v
+			}
+		}
+	}
+	width := 0
+	for _, v := range work {
+		if w := bits.Len32(uint32(v - ref)); w > width {
+			width = w
+		}
+	}
+	hdr := [headerBytes]byte{byte(scheme), byte(width)}
+	binary.LittleEndian.PutUint16(hdr[2:], uint16(len(block)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(ref))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(first))
+	out = append(out, hdr[:]...)
+	payload := make([]byte, (len(work)*width+7)/8)
+	for i, v := range work {
+		writeBits(payload, i*width, width, uint32(v-ref))
+	}
+	return append(out, payload...)
+}
+
+// writeBits stores the low `width` bits of v at bit offset off.
+func writeBits(buf []byte, off, width int, v uint32) {
+	for b := 0; b < width; b++ {
+		if v&(1<<b) != 0 {
+			buf[(off+b)/8] |= 1 << ((off + b) % 8)
+		}
+	}
+}
+
+// readBits extracts `width` bits at bit offset off.
+func readBits(buf []byte, off, width int) uint32 {
+	var v uint32
+	for b := 0; b < width; b++ {
+		if buf[(off+b)/8]&(1<<((off+b)%8)) != 0 {
+			v |= 1 << b
+		}
+	}
+	return v
+}
+
+// Ratio returns compressed bytes per original byte for a column under
+// the given scheme (1.0 = no gain; the paper's footnote targets <0.5
+// for TPC-H-like data).
+func Ratio(values []int32, scheme Scheme) (float64, error) {
+	if len(values) == 0 {
+		return 1, nil
+	}
+	c, err := Compress(values, scheme)
+	if err != nil {
+		return 0, err
+	}
+	return float64(len(c)) / float64(4*len(values)), nil
+}
+
+// Best picks the scheme with the better ratio for a column — a
+// miniature version of the per-column scheme choice a DSM system
+// would make at load time.
+func Best(values []int32) (Scheme, error) {
+	rf, err := Ratio(values, FOR)
+	if err != nil {
+		return 0, err
+	}
+	rd, err := Ratio(values, DeltaFOR)
+	if err != nil {
+		return 0, err
+	}
+	if rd < rf {
+		return DeltaFOR, nil
+	}
+	return FOR, nil
+}

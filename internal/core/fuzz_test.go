@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"radixdecluster/internal/radix"
+)
+
+// FuzzDecluster feeds arbitrary byte strings as smaller-oid columns
+// through the full cluster→decluster pipeline and cross-checks the
+// windowed algorithm against the pure scatter on every input. Run
+// with `go test -fuzz=FuzzDecluster ./internal/core`; the seed corpus
+// doubles as a regression test under plain `go test`.
+func FuzzDecluster(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, uint8(2), uint8(4))
+	f.Add([]byte{9, 9, 9, 9, 0}, uint8(1), uint8(1))
+	f.Add([]byte{}, uint8(0), uint8(3))
+	f.Add([]byte{255, 0, 128, 7, 7, 7, 200, 13}, uint8(3), uint8(7))
+	f.Fuzz(func(t *testing.T, raw []byte, bits8, win8 uint8) {
+		n := len(raw)
+		if n == 0 {
+			return
+		}
+		smaller := make([]OID, n)
+		for i, b := range raw {
+			smaller[i] = OID(b) % OID(n)
+		}
+		bits := int(bits8 % 8)
+		window := int(win8)%n + 1
+		cl, err := ClusterForDecluster(smaller,
+			radix.Opts{Bits: bits, Ignore: radix.IgnoreBits(n, bits)})
+		if err != nil {
+			t.Fatalf("cluster: %v", err)
+		}
+		if err := cl.Validate(); err != nil {
+			t.Fatalf("invalid clustering: %v", err)
+		}
+		vals := make([]int32, n)
+		for i, o := range cl.SmallerOIDs {
+			vals[i] = int32(o) * 3
+		}
+		got, err := Decluster(vals, cl.ResultPos, cl.Borders, window)
+		if err != nil {
+			t.Fatalf("decluster: %v", err)
+		}
+		want, err := ScatterDecluster(vals, cl.ResultPos)
+		if err != nil {
+			t.Fatalf("scatter: %v", err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("window=%d bits=%d: position %d: %d != %d", window, bits, i, got[i], want[i])
+			}
+		}
+	})
+}

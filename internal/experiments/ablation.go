@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"radixdecluster/internal/core"
+)
+
+// Ablation quantifies §3.2's "best of both approaches" claim: the
+// windowed Radix-Decluster against its two strawmen — the pure O(N)
+// scatter with unbounded random writes, and the pure O(N·log H) heap
+// merge with cache-friendly access. The paper argues the window
+// combines the scatter's CPU profile with the merge's cache profile;
+// this table shows all three across cardinalities.
+//
+// Expected shape: merge always pays its log-factor CPU; scatter wins
+// while the result column fits the last-level cache and degrades once
+// it does not — on machines with very large caches the crossover sits
+// at correspondingly larger N (the paper's C-scaling rule).
+func Ablation(cfg Config) (*Table, error) {
+	h := cfg.hier()
+	cards := []int{64 << 10, 256 << 10, 1 << 20}
+	if cfg.Quick {
+		cards = []int{16 << 10, 64 << 10}
+	}
+	if cfg.Full {
+		cards = append(cards, 4<<20, 16<<20)
+	}
+	const bits = 8
+	window := core.PlanWindow(h, 4)
+	t := &Table{
+		ID:      "ablation",
+		Title:   fmt.Sprintf("Radix-Decluster vs pure scatter vs pure merge (B=%d, window=%d tuples)", bits, window),
+		Columns: []string{"N", "windowed_ms", "scatter_ms", "merge_ms"},
+		Notes: []string{
+			"scatter = infinite window (random writes over the whole column)",
+			"merge = H-way heap merge (O(N log H) CPU, sequential output)",
+		},
+	}
+	for _, n := range cards {
+		cl, vals, err := declusterFixture(n, bits, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		windowed := timeIt(func() {
+			if _, err := core.Decluster(vals, cl.ResultPos, cl.Borders, window); err != nil {
+				panic(err)
+			}
+		})
+		scatter := timeIt(func() {
+			if _, err := core.ScatterDecluster(vals, cl.ResultPos); err != nil {
+				panic(err)
+			}
+		})
+		merge := timeIt(func() {
+			if _, err := core.MergeDecluster(vals, cl.ResultPos, cl.Borders); err != nil {
+				panic(err)
+			}
+		})
+		t.Append(n, windowed, scatter, merge)
+	}
+	return t, nil
+}

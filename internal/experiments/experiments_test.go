@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every figure runner must execute at Quick scale and produce a
+// well-formed table: a title, the declared columns, and rows whose
+// widths match.
+func TestAllRunnersQuick(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 1}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tbl, err := r.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if tbl.ID != r.ID {
+				t.Fatalf("table ID %q, want %q", tbl.ID, r.ID)
+			}
+			if len(tbl.Columns) == 0 || len(tbl.Rows) == 0 {
+				t.Fatalf("%s: empty table", r.ID)
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Fatalf("%s: row %d has %d cells for %d columns", r.ID, i, len(row), len(tbl.Columns))
+				}
+				for j, cell := range row {
+					if cell == "" {
+						t.Fatalf("%s: empty cell (%d,%d)", r.ID, i, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig7a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id not rejected")
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "t", Columns: []string{"a", "bb"}, Notes: []string{"n"}}
+	tbl.Append(1, 2.5)
+	var sb strings.Builder
+	tbl.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== x: t ==", "a", "bb", "1", "2.500", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package hash
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMixIsDeterministic(t *testing.T) {
+	if Mix(12345) != Mix(12345) {
+		t.Fatal("Mix not deterministic")
+	}
+}
+
+// Mix must be a bijection on uint32 (it is composed of invertible
+// steps); spot-check injectivity over a dense range.
+func TestMixInjectiveOnRange(t *testing.T) {
+	seen := make(map[uint32]uint32, 1<<16)
+	for k := uint32(0); k < 1<<16; k++ {
+		h := Mix(k)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("Mix(%d) == Mix(%d) == %d", k, prev, h)
+		}
+		seen[h] = k
+	}
+}
+
+// The low B bits of Mix over a *skewed* domain (consecutive integers,
+// multiples of a power of two) must spread over all 2^B buckets —
+// the property §2.2 hashes for.
+func TestMixSpreadsSkewedDomains(t *testing.T) {
+	const bits = 6
+	domains := map[string]func(i int) uint32{
+		"consecutive":    func(i int) uint32 { return uint32(i) },
+		"multiples-1024": func(i int) uint32 { return uint32(i) * 1024 },
+		"high-bits-only": func(i int) uint32 { return uint32(i) << 20 },
+	}
+	for name, gen := range domains {
+		counts := make([]int, 1<<bits)
+		n := 1 << 12
+		for i := 0; i < n; i++ {
+			counts[Mix(gen(i))&(1<<bits-1)]++
+		}
+		want := n / (1 << bits)
+		for b, c := range counts {
+			if c < want/2 || c > want*2 {
+				t.Fatalf("%s: bucket %d has %d of ~%d", name, b, c, want)
+			}
+		}
+	}
+}
+
+func TestMix64Injective(t *testing.T) {
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		return Mix64(a) != Mix64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOIDIsIdentity(t *testing.T) {
+	f := func(o uint32) bool { return OID(o) == o }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt32MatchesMix(t *testing.T) {
+	f := func(v int32) bool { return Int32(v) == Mix(uint32(v)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

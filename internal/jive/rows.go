@@ -1,0 +1,98 @@
+package jive
+
+import (
+	"fmt"
+	"sort"
+
+	"radixdecluster/internal/join"
+	"radixdecluster/internal/nsm"
+)
+
+// This file holds the NSM variants of the two Jive phases: the
+// projection values come out of ω-wide records instead of columns, so
+// every lookup drags a whole record's cache lines — the tuple-width
+// effect behind Jive-Join's O(C²/T²) scalability bound (§4.2).
+
+// LeftRowsResult mirrors LeftResult with the left projection held as
+// row-major records.
+type LeftRowsResult struct {
+	RightOIDs []OID
+	ResultPos []OID
+	LeftRows  *nsm.Relation // projected left fields, result order
+	Borders   []int         // cluster offsets, len 2^bits+1
+	Bits      int
+}
+
+// LeftRows runs the left phase against an NSM relation: ji must be
+// sorted on ji.Larger; leftCols names the record fields to project.
+func LeftRows(ji *join.Index, left *nsm.Relation, leftCols []int, rightLen, bits int) (*LeftRowsResult, error) {
+	n := ji.Len()
+	if bits < 0 || bits > 30 {
+		return nil, fmt.Errorf("jive: bad cluster bits %d", bits)
+	}
+	shift := clusterShift(rightLen, bits)
+	h := 1 << bits
+	counts := make([]int, h)
+	for _, ro := range ji.Smaller {
+		c := int(ro >> shift)
+		if c >= h {
+			return nil, fmt.Errorf("jive: right oid %d outside table of %d tuples", ro, rightLen)
+		}
+		counts[c]++
+	}
+	offsets := make([]int, h+1)
+	for c := 0; c < h; c++ {
+		offsets[c+1] = offsets[c] + counts[c]
+	}
+	out := &LeftRowsResult{
+		RightOIDs: make([]OID, n),
+		ResultPos: make([]OID, n),
+		LeftRows:  nsm.New(left.Name+"_proj", n, len(leftCols)),
+		Borders:   offsets,
+		Bits:      bits,
+	}
+	cursors := make([]int, h)
+	copy(cursors, offsets[:h])
+	nLeft := left.Len()
+	for i := 0; i < n; i++ {
+		lo, ro := ji.Larger[i], ji.Smaller[i]
+		if int(lo) >= nLeft {
+			return nil, fmt.Errorf("jive: left oid %d outside relation of %d records", lo, nLeft)
+		}
+		c := int(ro >> shift)
+		d := cursors[c]
+		cursors[c] = d + 1
+		out.RightOIDs[d] = ro
+		out.ResultPos[d] = OID(d)
+		left.ProjectRecord(out.LeftRows.Record(d), int(lo), leftCols)
+	}
+	return out, nil
+}
+
+// RightRows runs the right phase against an NSM relation, returning
+// the projected right fields as row-major records in result order.
+func RightRows(lr *LeftRowsResult, right *nsm.Relation, rightCols []int) (*nsm.Relation, error) {
+	n := len(lr.RightOIDs)
+	out := nsm.New(right.Name+"_proj", n, len(rightCols))
+	nRight := right.Len()
+	var perm []int
+	for c := 0; c+1 < len(lr.Borders); c++ {
+		lo, hi := lr.Borders[c], lr.Borders[c+1]
+		if lo == hi {
+			continue
+		}
+		perm = perm[:0]
+		for i := lo; i < hi; i++ {
+			perm = append(perm, i)
+		}
+		oids := lr.RightOIDs
+		sort.Slice(perm, func(x, y int) bool { return oids[perm[x]] < oids[perm[y]] })
+		for _, i := range perm {
+			if int(oids[i]) >= nRight {
+				return nil, fmt.Errorf("jive: right oid %d outside relation of %d records", oids[i], nRight)
+			}
+			right.ProjectRecord(out.Record(int(lr.ResultPos[i])), int(oids[i]), rightCols)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,336 @@
+// Package join implements the join-index-producing equi-join
+// algorithms of the paper: naive Hash-Join and the cache-conscious
+// Partitioned Hash-Join of [SKN94] paired with Radix-Cluster
+// (§2.1–2.2), plus the payload-carrying variants that the
+// pre-projection strategies need.
+//
+// In the Hash-Join considered here the *outer* (larger) relation is
+// scanned sequentially while a hash table built on the *inner*
+// (smaller) relation is probed — inherently random access over the
+// inner relation plus table. Partitioned Hash-Join first
+// radix-clusters both relations so that every inner partition (plus
+// its hash table) fits the cache, turning the random access
+// cacheable (§2.1).
+package join
+
+import (
+	"fmt"
+	"math/bits"
+
+	"radixdecluster/internal/bat"
+	"radixdecluster/internal/hash"
+	"radixdecluster/internal/radix"
+)
+
+// OID mirrors bat.OID.
+type OID = bat.OID
+
+// Index is a join-index [Val87]: matching [larger-oid, smaller-oid]
+// pairs. After a (partitioned) hash join neither column is in
+// ascending order — the starting point of the paper's projection
+// problem (§3.1).
+type Index struct {
+	Larger  []OID
+	Smaller []OID
+}
+
+// Len returns the number of matches (the join result cardinality).
+func (ix *Index) Len() int { return len(ix.Larger) }
+
+// table is a bucket-chained hash table over one (partition of the)
+// smaller relation. Chains are stored as parallel arrays — no
+// per-entry allocation, and the whole structure is three flat arrays
+// whose footprint decides whether probing stays in cache.
+//
+// shift discards the low hash bits already consumed by the
+// Radix-Cluster partitioning: inside a B-bit partition every key
+// shares those B bits, so bucketing on them would collapse the table
+// into a single chain (MonetDB buckets on the remaining bits for the
+// same reason).
+type table struct {
+	mask  uint32
+	shift uint
+	first []int32 // bucket head: index+1, 0 = empty
+	next  []int32 // chain: index+1, 0 = end
+	oids  []OID
+	keys  []int32
+}
+
+func buildTable(oids []OID, keys []int32, shift uint) *table {
+	n := len(keys)
+	nbuckets := 1
+	if n > 0 {
+		nbuckets = 1 << bits.Len(uint(n)) // ≥ n, ≤ 2n buckets
+	}
+	t := &table{
+		mask:  uint32(nbuckets - 1),
+		shift: shift,
+		first: make([]int32, nbuckets),
+		next:  make([]int32, n),
+		oids:  oids,
+		keys:  keys,
+	}
+	for i := 0; i < n; i++ {
+		b := (hash.Int32(keys[i]) >> shift) & t.mask
+		t.next[i] = t.first[b]
+		t.first[b] = int32(i) + 1
+	}
+	return t
+}
+
+func (t *table) probe(largerOIDs []OID, largerKeys []int32, out *Index) {
+	for i, k := range largerKeys {
+		for e := t.first[(hash.Int32(k)>>t.shift)&t.mask]; e != 0; e = t.next[e-1] {
+			if t.keys[e-1] == k {
+				out.Larger = append(out.Larger, largerOIDs[i])
+				out.Smaller = append(out.Smaller, t.oids[e-1])
+			}
+		}
+	}
+}
+
+// HashJoin is the naive (non-partitioned) join: build a hash table on
+// the whole smaller relation, probe with the larger. When the smaller
+// relation exceeds the cache, every probe is an uncachable random
+// access — the baseline the cache-conscious algorithms beat.
+func HashJoin(largerOIDs []OID, largerKeys []int32, smallerOIDs []OID, smallerKeys []int32) (*Index, error) {
+	if len(largerOIDs) != len(largerKeys) || len(smallerOIDs) != len(smallerKeys) {
+		return nil, fmt.Errorf("join: oid/key column length mismatch")
+	}
+	out := &Index{
+		Larger:  make([]OID, 0, len(largerKeys)),
+		Smaller: make([]OID, 0, len(largerKeys)),
+	}
+	buildTable(smallerOIDs, smallerKeys, 0).probe(largerOIDs, largerKeys, out)
+	return out, nil
+}
+
+// Partitioned runs the cache-conscious Partitioned Hash-Join:
+// radix-cluster both inputs on `bits` bits of the hashed key (with
+// the given pass structure, nil = single pass), then hash-join each
+// pair of matching partitions (Figure 2).
+func Partitioned(largerOIDs []OID, largerKeys []int32, smallerOIDs []OID, smallerKeys []int32, o radix.Opts) (*Index, error) {
+	if len(largerOIDs) != len(largerKeys) || len(smallerOIDs) != len(smallerKeys) {
+		return nil, fmt.Errorf("join: oid/key column length mismatch")
+	}
+	cl, err := radix.ClusterPairs(largerOIDs, largerKeys, true, o)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := radix.ClusterPairs(smallerOIDs, smallerKeys, true, o)
+	if err != nil {
+		return nil, err
+	}
+	out := &Index{
+		Larger:  make([]OID, 0, len(largerKeys)),
+		Smaller: make([]OID, 0, len(largerKeys)),
+	}
+	h := len(cl.Offsets) - 1
+	for p := 0; p < h; p++ {
+		ll, lh := cl.Offsets[p], cl.Offsets[p+1]
+		sl, sh := cs.Offsets[p], cs.Offsets[p+1]
+		if ll == lh || sl == sh {
+			continue
+		}
+		t := buildTable(cs.Heads[sl:sh], cs.Vals[sl:sh], uint(o.Ignore+o.Bits))
+		t.probe(cl.Heads[ll:lh], cl.Vals[ll:lh], out)
+	}
+	return out, nil
+}
+
+// PartitionedPreclustered runs only the per-partition hash joins over
+// inputs that are already radix-clustered on matching bits — the
+// isolated join phase of Figure 9b, where clustering cost is studied
+// separately (Figure 9a).
+func PartitionedPreclustered(larger, smaller *radix.PairsResult) (*Index, error) {
+	if len(larger.Offsets) != len(smaller.Offsets) {
+		return nil, fmt.Errorf("join: partition counts differ: %d vs %d", len(larger.Offsets)-1, len(smaller.Offsets)-1)
+	}
+	out := &Index{
+		Larger:  make([]OID, 0, len(larger.Vals)),
+		Smaller: make([]OID, 0, len(larger.Vals)),
+	}
+	h := len(larger.Offsets) - 1
+	shift := uint(bits.Len(uint(h)) - 1) // recover B from the partition count
+	for p := 0; p < h; p++ {
+		ll, lh := larger.Offsets[p], larger.Offsets[p+1]
+		sl, sh := smaller.Offsets[p], smaller.Offsets[p+1]
+		if ll == lh || sl == sh {
+			continue
+		}
+		t := buildTable(smaller.Heads[sl:sh], smaller.Vals[sl:sh], shift)
+		t.probe(larger.Heads[ll:lh], larger.Vals[ll:lh], out)
+	}
+	return out, nil
+}
+
+// RowsResult is the output of a payload-carrying (pre-projection)
+// join: row-major result records of Width = larger-payload-width +
+// smaller-payload-width. The keys do not appear in the output — the
+// query projects a1..aY, b1..bX only (§1.1).
+type RowsResult struct {
+	Rows  []int32
+	Width int
+}
+
+// Len returns the result cardinality.
+func (r *RowsResult) Len() int {
+	if r.Width == 0 {
+		return 0
+	}
+	return len(r.Rows) / r.Width
+}
+
+// rowTable hashes the smaller side's wide tuples on their key column.
+// shift discards the hash bits consumed by the partitioning (see table).
+type rowTable struct {
+	mask  uint32
+	shift uint
+	first []int32
+	next  []int32
+	rows  []int32
+	width int
+	key   int
+}
+
+func buildRowTable(rows []int32, width, key int, shift uint) *rowTable {
+	n := len(rows) / width
+	nbuckets := 1
+	if n > 0 {
+		nbuckets = 1 << bits.Len(uint(n))
+	}
+	t := &rowTable{
+		mask:  uint32(nbuckets - 1),
+		shift: shift,
+		first: make([]int32, nbuckets),
+		next:  make([]int32, n),
+		rows:  rows,
+		width: width,
+		key:   key,
+	}
+	for i := 0; i < n; i++ {
+		b := (hash.Int32(rows[i*width+key]) >> shift) & t.mask
+		t.next[i] = t.first[b]
+		t.first[b] = int32(i) + 1
+	}
+	return t
+}
+
+// probeRows joins larger wide tuples against the table, emitting
+// [larger-payload | smaller-payload] rows (key columns dropped). The
+// tuple-at-a-time copying with run-time attribute lists is the very
+// CPU overhead the paper attributes to pre-projection (§4.2).
+func (t *rowTable) probeRows(larger []int32, lw, lkey int, out []int32) []int32 {
+	n := len(larger) / lw
+	for i := 0; i < n; i++ {
+		rec := larger[i*lw : (i+1)*lw]
+		k := rec[lkey]
+		for e := t.first[(hash.Int32(k)>>t.shift)&t.mask]; e != 0; e = t.next[e-1] {
+			s := int(e-1) * t.width
+			if t.rows[s+t.key] != k {
+				continue
+			}
+			for c := 0; c < lw; c++ {
+				if c != lkey {
+					out = append(out, rec[c])
+				}
+			}
+			srec := t.rows[s : s+t.width]
+			for c := 0; c < t.width; c++ {
+				if c != t.key {
+					out = append(out, srec[c])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// HashRows is the pre-projection naive Hash-Join over wide tuples
+// ("NSM-pre-hash" in Figure 10): the projection columns travel as
+// extra luggage through an unpartitioned join.
+func HashRows(larger []int32, lw, lkey int, smaller []int32, sw, skey int) (*RowsResult, error) {
+	if err := checkRows(larger, lw, lkey); err != nil {
+		return nil, err
+	}
+	if err := checkRows(smaller, sw, skey); err != nil {
+		return nil, err
+	}
+	t := buildRowTable(smaller, sw, skey, 0)
+	out := make([]int32, 0, len(larger)/lw*(lw+sw-2))
+	out = t.probeRows(larger, lw, lkey, out)
+	return &RowsResult{Rows: out, Width: lw + sw - 2}, nil
+}
+
+// PartitionedRows is the pre-projection Partitioned Hash-Join
+// ("NSM-pre-phash" / "DSM-pre-phash"): both wide-tuple inputs are
+// radix-clustered — the whole record moves on every pass — and each
+// partition pair is hash-joined. Because the payload inflates the
+// tuple width, fewer tuples fit per cluster, which is why
+// pre-projection needs more radix bits (and sooner multiple passes)
+// than post-projection at equal cardinality (§4.2).
+func PartitionedRows(larger []int32, lw, lkey int, smaller []int32, sw, skey int, o radix.Opts) (*RowsResult, error) {
+	if err := checkRows(larger, lw, lkey); err != nil {
+		return nil, err
+	}
+	if err := checkRows(smaller, sw, skey); err != nil {
+		return nil, err
+	}
+	cl, err := radix.ClusterRows(larger, lw, lkey, o)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := radix.ClusterRows(smaller, sw, skey, o)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, 0, len(larger)/lw*(lw+sw-2))
+	h := len(cl.Offsets) - 1
+	for p := 0; p < h; p++ {
+		ll, lh := cl.Offsets[p]*lw, cl.Offsets[p+1]*lw
+		sl, sh := cs.Offsets[p]*sw, cs.Offsets[p+1]*sw
+		if ll == lh || sl == sh {
+			continue
+		}
+		t := buildRowTable(cs.Rows[sl:sh], sw, skey, uint(o.Ignore+o.Bits))
+		out = t.probeRows(cl.Rows[ll:lh], lw, lkey, out)
+	}
+	return &RowsResult{Rows: out, Width: lw + sw - 2}, nil
+}
+
+func checkRows(rows []int32, width, key int) error {
+	if width <= 0 || len(rows)%width != 0 {
+		return fmt.Errorf("join: %d values is not a multiple of width %d", len(rows), width)
+	}
+	if key < 0 || key >= width {
+		return fmt.Errorf("join: key column %d out of range [0,%d)", key, width)
+	}
+	return nil
+}
+
+// PlanBits returns the number of radix bits for a Partitioned
+// Hash-Join so every smaller-side partition (values + hash table)
+// fits the cache: the partition footprint is roughly tuples *
+// (tupleBytes + 8 bytes of table overhead) (§2.1).
+func PlanBits(smallerTuples, tupleBytes, cacheBytes int) int {
+	perTuple := tupleBytes + 8
+	fit := cacheBytes / perTuple
+	if fit < 1 {
+		fit = 1
+	}
+	if smallerTuples <= fit {
+		return 0
+	}
+	b := 1 + log2floor(smallerTuples) - log2floor(fit)
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+func log2floor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n)) - 1
+}

@@ -1,0 +1,101 @@
+package mem
+
+import "testing"
+
+func TestPentium4Spec(t *testing.T) {
+	h := Pentium4()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	caches := h.Caches()
+	if len(caches) != 2 {
+		t.Fatalf("%d data caches, want 2", len(caches))
+	}
+	if caches[0].Size != 16<<10 || caches[0].LineSize != 32 {
+		t.Fatalf("L1 = %v", caches[0])
+	}
+	if caches[1].Size != 512<<10 || caches[1].LineSize != 128 {
+		t.Fatalf("L2 = %v", caches[1])
+	}
+	tlb, ok := h.TLB()
+	if !ok {
+		t.Fatal("no TLB")
+	}
+	if tlb.Lines() != 64 {
+		t.Fatalf("TLB entries = %d, want 64", tlb.Lines())
+	}
+	// Paper: 350 cycles at 2.2GHz ≈ 159ns ≈ the 178ns RDRAM latency.
+	if caches[1].MissLatency < 140 || caches[1].MissLatency > 180 {
+		t.Fatalf("L2 miss latency = %g ns", caches[1].MissLatency)
+	}
+	if h.LLC().Name != "L2" {
+		t.Fatalf("LLC = %s", h.LLC().Name)
+	}
+}
+
+func TestSmallSpec(t *testing.T) {
+	if err := Small().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if Small().LLC().Size != 8<<10 {
+		t.Fatalf("small LLC = %d", Small().LLC().Size)
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	bad := []Hierarchy{
+		{}, // empty
+		{Levels: []Level{{Name: "x", Size: 0, LineSize: 32}}},
+		{Levels: []Level{{Name: "x", Size: 1024, LineSize: 33}}}, // non-pow2 line
+		{Levels: []Level{{Name: "x", Size: 1000, LineSize: 64}}}, // size not multiple
+		{Levels: []Level{{Name: "x", Size: 1024, LineSize: 32, Assoc: -1}}},
+		{Levels: []Level{ // shrinking cache levels
+			{Name: "a", Size: 4096, LineSize: 32},
+			{Name: "b", Size: 1024, LineSize: 32},
+		}},
+	}
+	for i, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("case %d not rejected: %+v", i, h)
+		}
+	}
+}
+
+func TestLevelHelpers(t *testing.T) {
+	l := Level{Name: "L1", Size: 1024, LineSize: 32, Assoc: 2, MissLatency: 5, SeqLatency: 1}
+	if l.Lines() != 32 {
+		t.Fatalf("Lines = %d", l.Lines())
+	}
+	if s := l.String(); s == "" {
+		t.Fatal("empty String")
+	}
+	tl := Level{Name: "TLB", Size: 4096, LineSize: 4096, IsTLB: true}
+	if s := tl.String(); s == "" {
+		t.Fatal("empty TLB String")
+	}
+}
+
+func TestLog2Helpers(t *testing.T) {
+	cases := []struct{ n, ceil, floor int }{
+		{0, 0, 0}, {1, 0, 0}, {2, 1, 1}, {3, 2, 1}, {4, 2, 2},
+		{5, 3, 2}, {1024, 10, 10}, {1025, 11, 10},
+	}
+	for _, c := range cases {
+		if got := Log2Ceil(c.n); got != c.ceil {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", c.n, got, c.ceil)
+		}
+		if got := Log2Floor(c.n); got != c.floor {
+			t.Errorf("Log2Floor(%d) = %d, want %d", c.n, got, c.floor)
+		}
+	}
+}
+
+func TestTLBAbsent(t *testing.T) {
+	h := Hierarchy{Levels: []Level{{Name: "L1", Size: 1024, LineSize: 32}}}
+	if _, ok := h.TLB(); ok {
+		t.Fatal("found a TLB that is not there")
+	}
+	if h.LLC().Name != "L1" {
+		t.Fatal("LLC should be the only cache")
+	}
+}

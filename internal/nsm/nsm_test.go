@@ -1,0 +1,149 @@
+package nsm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testRel(t *testing.T) *Relation {
+	t.Helper()
+	r, err := FromColumns("t",
+		[]int32{10, 11, 12, 13},
+		[]int32{20, 21, 22, 23},
+		[]int32{30, 31, 32, 33},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestFromColumnsAndAccessors(t *testing.T) {
+	r := testRel(t)
+	if r.Len() != 4 || r.Width != 3 {
+		t.Fatalf("Len=%d Width=%d", r.Len(), r.Width)
+	}
+	if r.At(2, 1) != 22 {
+		t.Fatalf("At(2,1) = %d, want 22", r.At(2, 1))
+	}
+	r.Set(2, 1, 99)
+	if r.At(2, 1) != 99 {
+		t.Fatal("Set did not stick")
+	}
+	if r.TupleBytes() != 12 {
+		t.Fatalf("TupleBytes = %d, want 12", r.TupleBytes())
+	}
+	if _, err := FromColumns("bad", []int32{1}, []int32{1, 2}); err == nil {
+		t.Fatal("ragged columns not rejected")
+	}
+	if _, err := FromColumns("empty"); err == nil {
+		t.Fatal("zero columns not rejected")
+	}
+}
+
+func TestRecordIsView(t *testing.T) {
+	r := testRel(t)
+	rec := r.Record(1)
+	rec[0] = -1
+	if r.At(1, 0) != -1 {
+		t.Fatal("Record must be a mutable view")
+	}
+}
+
+func TestScanColumn(t *testing.T) {
+	r := testRel(t)
+	got := r.ScanColumn(2)
+	want := []int32{30, 31, 32, 33}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ScanColumn(2)[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanProject(t *testing.T) {
+	r := testRel(t)
+	p := r.ScanProject("p", []int{2, 0})
+	if p.Width != 2 || p.Len() != 4 {
+		t.Fatalf("Width=%d Len=%d", p.Width, p.Len())
+	}
+	if p.At(3, 0) != 33 || p.At(3, 1) != 13 {
+		t.Fatalf("record 3 = %v", p.Record(3))
+	}
+}
+
+func TestGather(t *testing.T) {
+	r := testRel(t)
+	g := r.Gather("g", []uint32{3, 1, 1})
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if g.At(0, 0) != 13 || g.At(1, 2) != 31 || g.At(2, 0) != 11 {
+		t.Fatalf("gather wrong: %v", g.Data)
+	}
+}
+
+func TestGatherProject(t *testing.T) {
+	r := testRel(t)
+	g := r.GatherProject("g", []uint32{2, 0}, []int{1})
+	if g.Width != 1 {
+		t.Fatalf("Width = %d", g.Width)
+	}
+	if g.At(0, 0) != 22 || g.At(1, 0) != 20 {
+		t.Fatalf("gather-project wrong: %v", g.Data)
+	}
+}
+
+func TestColumn(t *testing.T) {
+	r := testRel(t)
+	got := r.Column([]uint32{1, 3}, 0)
+	if got[0] != 11 || got[1] != 13 {
+		t.Fatalf("Column = %v", got)
+	}
+}
+
+func TestAppendFields(t *testing.T) {
+	a, _ := FromColumns("a", []int32{1, 2})
+	b, _ := FromColumns("b", []int32{10, 20}, []int32{100, 200})
+	out, err := AppendFields("ab", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Width != 3 {
+		t.Fatalf("Width = %d", out.Width)
+	}
+	rec := out.Record(1)
+	if rec[0] != 2 || rec[1] != 20 || rec[2] != 200 {
+		t.Fatalf("record 1 = %v", rec)
+	}
+	c, _ := FromColumns("c", []int32{1})
+	if _, err := AppendFields("bad", a, c); err == nil {
+		t.Fatal("cardinality mismatch not rejected")
+	}
+}
+
+// Decompose/recompose round trip: FromColumns followed by ScanColumn
+// must return the original columns for arbitrary data.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(a, b []int32) bool {
+		n := min(len(a), len(b))
+		a, b = a[:n], b[:n]
+		if n == 0 {
+			return true
+		}
+		r, err := FromColumns("q", a, b)
+		if err != nil {
+			return false
+		}
+		ga, gb := r.ScanColumn(0), r.ScanColumn(1)
+		for i := 0; i < n; i++ {
+			if ga[i] != a[i] || gb[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

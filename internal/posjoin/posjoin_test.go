@@ -1,0 +1,143 @@
+package posjoin
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"radixdecluster/internal/bat"
+	"radixdecluster/internal/mem"
+	"radixdecluster/internal/radix"
+)
+
+func TestFetch(t *testing.T) {
+	col := []int32{10, 20, 30, 40}
+	got, err := Fetch(col, []OID{3, 0, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{40, 10, 10, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFetchOutOfRange(t *testing.T) {
+	if _, err := Fetch([]int32{1}, []OID{1}); err == nil {
+		t.Fatal("out-of-range oid not rejected")
+	}
+}
+
+func TestFetchIntoSizeMismatch(t *testing.T) {
+	if err := FetchInto(make([]int32, 2), []int32{1}, []OID{0}); err == nil {
+		t.Fatal("size mismatch not rejected")
+	}
+}
+
+func TestFetchEmpty(t *testing.T) {
+	got, err := Fetch(nil, nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestAllVariantsAgree(t *testing.T) {
+	// Unsorted, Sorted (after sort) and Clustered (after partial
+	// cluster) must produce consistent projections: the value fetched
+	// for a given join-index entry is the same, only the order of the
+	// result column follows the oid reordering.
+	rng := rand.New(rand.NewPCG(1, 2))
+	n := 3000
+	col := make([]int32, n)
+	for i := range col {
+		col[i] = int32(i) * 3
+	}
+	oids := make([]OID, 500)
+	for i := range oids {
+		oids[i] = OID(rng.IntN(n))
+	}
+	uns, err := Unsorted(col, oids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range oids {
+		if uns[i] != int32(o)*3 {
+			t.Fatalf("unsorted[%d] = %d, want %d", i, uns[i], int32(o)*3)
+		}
+	}
+	pos := make([]OID, len(oids))
+	for i := range pos {
+		pos[i] = OID(i)
+	}
+	// Sorted variant.
+	srt, err := radix.SortOIDPairs(oids, pos, mem.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !CheckSorted(srt.Key) {
+		t.Fatal("radix sort did not sort")
+	}
+	sv, err := Sorted(col, srt.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sv {
+		if sv[i] != uns[srt.Other[i]] {
+			t.Fatalf("sorted[%d] disagrees with unsorted", i)
+		}
+	}
+	// Clustered variant.
+	o := radix.Opts{Bits: 3, Ignore: radix.IgnoreBits(n, 3)}
+	cl, err := radix.ClusterOIDPairs(oids, pos, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, err := Clustered(col, cl.Key, cl.Borders())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cv {
+		if cv[i] != uns[cl.Other[i]] {
+			t.Fatalf("clustered[%d] disagrees with unsorted", i)
+		}
+	}
+}
+
+func TestClusteredErrors(t *testing.T) {
+	col := []int32{1, 2}
+	oids := []OID{0, 1}
+	if _, err := Clustered(col, oids, []bat.Border{{Start: 0, End: 1}}); err == nil {
+		t.Fatal("bad borders not rejected")
+	}
+	borders := []bat.Border{{Start: 0, End: 2}}
+	if _, err := Clustered(col, []OID{0, 9}, borders); err == nil {
+		t.Fatal("out-of-range oid not rejected")
+	}
+}
+
+func TestFetchMany(t *testing.T) {
+	cols := [][]int32{{1, 2, 3}, {10, 20, 30}}
+	got, err := FetchMany(cols, []OID{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][0] != 3 || got[0][1] != 1 || got[1][0] != 30 || got[1][1] != 10 {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := FetchMany([][]int32{{1}}, []OID{4}); err == nil {
+		t.Fatal("column error not propagated")
+	}
+}
+
+func TestCheckSorted(t *testing.T) {
+	if !CheckSorted([]OID{0, 1, 1, 5}) {
+		t.Fatal("ascending with duplicates is sorted")
+	}
+	if CheckSorted([]OID{1, 0}) {
+		t.Fatal("descending is not sorted")
+	}
+	if !CheckSorted(nil) {
+		t.Fatal("empty is sorted")
+	}
+}

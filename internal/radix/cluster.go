@@ -1,0 +1,152 @@
+package radix
+
+// This file holds the multi-pass scatter engine shared by the
+// ClusterPairs / ClusterOIDPairs / ClusterRows front ends.
+//
+// Each pass p consumes the next Bp most-significant bits of the radix
+// field (bits [Ignore, Ignore+Bits) of the clustering value) and
+// scatters every current range into 2^Bp sub-ranges. The radix values
+// are computed once up front and travel with the payload, so later
+// passes never re-hash. Passes scan their input strictly sequentially
+// and append to each output cluster in input order, which is what
+// preserves intra-cluster ordering — property (2) that Radix-Decluster
+// depends on (§3.2).
+
+// passShifts returns the right-shift for each pass: pass p keeps the
+// radix bits [shift[p], shift[p]+Bp).
+func passShifts(o Opts) []uint {
+	passes := o.passes()
+	shifts := make([]uint, len(passes))
+	used := 0
+	for p, bp := range passes {
+		used += bp
+		shifts[p] = uint(o.Ignore + o.Bits - used)
+	}
+	return shifts
+}
+
+// cluster2 clusters two 32-bit payload columns (a, b) by the
+// precomputed radix values. It returns the final arrangement of all
+// three arrays plus the 2^Bits+1 cluster offsets. The input slices
+// are consumed as scratch space: callers pass freshly copied arrays.
+func cluster2(rad, a, b []uint32, o Opts) (outRad, outA, outB []uint32, offsets []int) {
+	n := len(rad)
+	passes := o.passes()
+	if len(passes) == 0 || n == 0 {
+		return rad, a, b, trivialOffsets(n, o.Bits)
+	}
+	shifts := passShifts(o)
+	dstRad := make([]uint32, n)
+	dstA := make([]uint32, n)
+	dstB := make([]uint32, n)
+	bounds := []int{0, n}
+	for p, bp := range passes {
+		h := 1 << bp
+		mask := uint32(h - 1)
+		sh := shifts[p]
+		next := make([]int, 0, (len(bounds)-1)*h+1)
+		var counts []int
+		for k := 0; k+1 < len(bounds); k++ {
+			lo, hi := bounds[k], bounds[k+1]
+			if counts == nil {
+				counts = make([]int, h)
+			} else {
+				for i := range counts {
+					counts[i] = 0
+				}
+			}
+			for i := lo; i < hi; i++ {
+				counts[(rad[i]>>sh)&mask]++
+			}
+			// Prefix-sum the histogram into insertion cursors.
+			pos := lo
+			cursors := make([]int, h)
+			for c := 0; c < h; c++ {
+				cursors[c] = pos
+				next = append(next, pos)
+				pos += counts[c]
+			}
+			for i := lo; i < hi; i++ {
+				c := (rad[i] >> sh) & mask
+				d := cursors[c]
+				cursors[c] = d + 1
+				dstRad[d] = rad[i]
+				dstA[d] = a[i]
+				dstB[d] = b[i]
+			}
+		}
+		next = append(next, n)
+		bounds = next
+		rad, dstRad = dstRad, rad
+		a, dstA = dstA, a
+		b, dstB = dstB, b
+	}
+	return rad, a, b, bounds
+}
+
+// clusterRows clusters row-major width-wide records by the
+// precomputed radix values. rows is not modified.
+func clusterRows(rad []uint32, rows []int32, width int, o Opts) (out []int32, offsets []int) {
+	n := len(rad)
+	passes := o.passes()
+	if len(passes) == 0 || n == 0 {
+		out = make([]int32, len(rows))
+		copy(out, rows)
+		return out, trivialOffsets(n, o.Bits)
+	}
+	shifts := passShifts(o)
+	srcRows := make([]int32, len(rows))
+	copy(srcRows, rows)
+	dstRows := make([]int32, len(rows))
+	srcRad := make([]uint32, n)
+	copy(srcRad, rad)
+	dstRad := make([]uint32, n)
+	bounds := []int{0, n}
+	for p, bp := range passes {
+		h := 1 << bp
+		mask := uint32(h - 1)
+		sh := shifts[p]
+		next := make([]int, 0, (len(bounds)-1)*h+1)
+		for k := 0; k+1 < len(bounds); k++ {
+			lo, hi := bounds[k], bounds[k+1]
+			counts := make([]int, h)
+			for i := lo; i < hi; i++ {
+				counts[(srcRad[i]>>sh)&mask]++
+			}
+			pos := lo
+			cursors := make([]int, h)
+			for c := 0; c < h; c++ {
+				cursors[c] = pos
+				next = append(next, pos)
+				pos += counts[c]
+			}
+			for i := lo; i < hi; i++ {
+				c := (srcRad[i] >> sh) & mask
+				d := cursors[c]
+				cursors[c] = d + 1
+				dstRad[d] = srcRad[i]
+				copy(dstRows[d*width:(d+1)*width], srcRows[i*width:(i+1)*width])
+			}
+		}
+		next = append(next, n)
+		bounds = next
+		srcRad, dstRad = dstRad, srcRad
+		srcRows, dstRows = dstRows, srcRows
+	}
+	return srcRows, bounds
+}
+
+// trivialOffsets covers [0,n) with 2^bits clusters where all tuples
+// land in cluster 0 — the B=0 degenerate case.
+func trivialOffsets(n, bits int) []int {
+	h := 1 << bits
+	offsets := make([]int, h+1)
+	offsets[0] = 0
+	for c := 1; c <= h; c++ {
+		offsets[c] = n
+	}
+	if bits == 0 {
+		return []int{0, n}
+	}
+	return offsets
+}

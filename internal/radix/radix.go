@@ -1,0 +1,330 @@
+// Package radix implements the Radix-Cluster family of algorithms
+// from Boncz, Manegold and Kersten [BMK99], extended with the partial
+// ("ignore bits") clustering of the paper's §3.1.
+//
+// radix_cluster(B,P) partitions a relation into H = 2^B clusters on B
+// bits of the (hashed) clustering attribute, using P sequential
+// passes starting from the most significant of those bits. Multiple
+// passes bound the number of output cursors alive at once: a pass
+// creating 2^Bp clusters keeps 2^Bp insertion points hot, and once
+// that exceeds the number of cache lines (or TLB entries) the
+// partitioning itself starts thrashing — the scalability problem
+// multi-pass clustering solves (§2.2).
+//
+// Partial clustering adds an Ignore count I: the radix field is bits
+// [I, I+B) of the clustering value. For dense oid columns this leaves
+// the lowermost I bits unsorted — "partially ordered" — which is all
+// a clustered Positional-Join needs, at a fraction of a full
+// Radix-Sort's cost (§3.1). A Radix-Cluster on all significant bits
+// of an oid column (I=0, B=⌈log2 N⌉) *is* Radix-Sort.
+package radix
+
+import (
+	"fmt"
+
+	"radixdecluster/internal/bat"
+	"radixdecluster/internal/hash"
+	"radixdecluster/internal/mem"
+)
+
+// OID mirrors bat.OID.
+type OID = bat.OID
+
+// Opts selects the radix field and pass structure of a clustering.
+type Opts struct {
+	// Bits is B: the total number of radix bits; H = 2^Bits clusters.
+	Bits int
+	// Ignore is I: how many low bits of the clustering value to skip.
+	// The radix field is bits [Ignore, Ignore+Bits).
+	Ignore int
+	// Passes lists Bp per pass, most-significant first; the sum must
+	// equal Bits. Leave nil for a single pass of all Bits.
+	Passes []int
+}
+
+func (o Opts) passes() []int {
+	if o.Passes == nil {
+		if o.Bits == 0 {
+			return nil
+		}
+		return []int{o.Bits}
+	}
+	return o.Passes
+}
+
+// Validate reports malformed options.
+func (o Opts) Validate() error {
+	if o.Bits < 0 || o.Ignore < 0 {
+		return fmt.Errorf("radix: negative Bits (%d) or Ignore (%d)", o.Bits, o.Ignore)
+	}
+	if o.Bits+o.Ignore > 32 {
+		return fmt.Errorf("radix: Bits+Ignore = %d exceeds 32-bit values", o.Bits+o.Ignore)
+	}
+	if o.Passes != nil {
+		sum := 0
+		for i, b := range o.Passes {
+			if b <= 0 {
+				return fmt.Errorf("radix: pass %d uses %d bits; each pass needs at least 1", i, b)
+			}
+			sum += b
+		}
+		if sum != o.Bits {
+			return fmt.Errorf("radix: passes sum to %d bits, want %d", sum, o.Bits)
+		}
+	}
+	return nil
+}
+
+// SplitBits divides B bits over the minimum number of passes that use
+// at most maxPerPass bits each, balancing the load (e.g. 10 bits with
+// max 8 becomes [5 5], not [8 2]); balanced passes keep the larger
+// cursor count as small as possible.
+func SplitBits(b, maxPerPass int) []int {
+	if b <= 0 {
+		return nil
+	}
+	if maxPerPass < 1 {
+		maxPerPass = 1
+	}
+	p := (b + maxPerPass - 1) / maxPerPass
+	out := make([]int, p)
+	for i := range out {
+		out[i] = b / p
+		if i < b%p {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// MaxBitsPerPass returns the largest per-pass fanout that keeps one
+// output cursor per cache line of the innermost cache and one per TLB
+// entry — the constraint that makes single-pass clustering stop
+// scaling (§2.1, §2.2).
+func MaxBitsPerPass(h mem.Hierarchy) int {
+	limit := 1 << 30
+	if caches := h.Caches(); len(caches) > 0 {
+		if l := caches[0].Lines(); l < limit {
+			limit = l
+		}
+	}
+	if tlb, ok := h.TLB(); ok {
+		if e := tlb.Lines(); e < limit {
+			limit = e
+		}
+	}
+	return mem.Log2Floor(limit)
+}
+
+// PairsResult is a radix-clustered [oid,value] BAT plus its H+1
+// cluster offsets.
+type PairsResult struct {
+	Heads   []OID
+	Vals    []int32
+	Offsets []int
+}
+
+// Borders converts the offsets into bat.Border form.
+func (r *PairsResult) Borders() []bat.Border { return bat.BordersFromOffsets(r.Offsets) }
+
+// ClusterPairs radix-clusters an [oid,value] BAT on its value column.
+// With hashVals set the radix comes from hash.Int32(value) — required
+// for join attributes so that skewed domains still spread over all
+// clusters (§2.2); without it the value's own bits are used.
+func ClusterPairs(heads []OID, vals []int32, hashVals bool, o Opts) (*PairsResult, error) {
+	if len(heads) != len(vals) {
+		return nil, fmt.Errorf("radix: ClusterPairs: %d heads vs %d values", len(heads), len(vals))
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(heads)
+	rad := make([]uint32, n)
+	if hashVals {
+		for i, v := range vals {
+			rad[i] = hash.Int32(v)
+		}
+	} else {
+		for i, v := range vals {
+			rad[i] = uint32(v)
+		}
+	}
+	a := make([]uint32, n)
+	for i, h := range heads {
+		a[i] = h
+	}
+	b := make([]uint32, n)
+	for i, v := range vals {
+		b[i] = uint32(v)
+	}
+	rad, a, b, offsets := cluster2(rad, a, b, o)
+	_ = rad
+	outHeads := make([]OID, n)
+	for i, v := range a {
+		outHeads[i] = v
+	}
+	outVals := make([]int32, n)
+	for i, v := range b {
+		outVals[i] = int32(v)
+	}
+	return &PairsResult{Heads: outHeads, Vals: outVals, Offsets: offsets}, nil
+}
+
+// OIDPairsResult is a radix-clustered [oid,oid] BAT (e.g. a
+// join-index) plus cluster offsets.
+type OIDPairsResult struct {
+	Key     []OID // the column the clustering was performed on
+	Other   []OID
+	Offsets []int
+}
+
+// Borders converts the offsets into bat.Border form.
+func (r *OIDPairsResult) Borders() []bat.Border { return bat.BordersFromOffsets(r.Offsets) }
+
+// ClusterOIDPairs radix-clusters an [oid,oid] BAT on the key column.
+// oids come from dense domains and are not hashed (§3.1), so a full
+// clustering on all significant bits equals Radix-Sort, and a partial
+// one (Ignore > 0) yields the cache-sized disjoint ranges that
+// clustered Positional-Joins need.
+func ClusterOIDPairs(key, other []OID, o Opts) (*OIDPairsResult, error) {
+	if len(key) != len(other) {
+		return nil, fmt.Errorf("radix: ClusterOIDPairs: %d keys vs %d others", len(key), len(other))
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(key)
+	rad := make([]uint32, n)
+	copy(rad, key)
+	a := make([]uint32, n)
+	copy(a, key)
+	b := make([]uint32, n)
+	copy(b, other)
+	_, a, b, offsets := cluster2(rad, a, b, o)
+	outKey := make([]OID, n)
+	copy(outKey, a)
+	outOther := make([]OID, n)
+	copy(outOther, b)
+	return &OIDPairsResult{Key: outKey, Other: outOther, Offsets: offsets}, nil
+}
+
+// RowsResult is a radix-clustered NSM fragment: row-major records of
+// the given width, plus cluster offsets (in records).
+type RowsResult struct {
+	Rows    []int32
+	Width   int
+	Offsets []int
+}
+
+// Borders converts the offsets into bat.Border form.
+func (r *RowsResult) Borders() []bat.Border { return bat.BordersFromOffsets(r.Offsets) }
+
+// ClusterRows radix-clusters width-wide NSM records on hash(record[keyCol]).
+// The whole record travels on every pass — the "extra luggage" of
+// pre-projection strategies (§1.1): fewer tuples fit per cluster and
+// per cache line, which is exactly the effect the paper measures.
+func ClusterRows(rows []int32, width, keyCol int, o Opts) (*RowsResult, error) {
+	if width <= 0 || len(rows)%width != 0 {
+		return nil, fmt.Errorf("radix: ClusterRows: %d values is not a multiple of width %d", len(rows), width)
+	}
+	if keyCol < 0 || keyCol >= width {
+		return nil, fmt.Errorf("radix: ClusterRows: key column %d out of range [0,%d)", keyCol, width)
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(rows) / width
+	rad := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		rad[i] = hash.Int32(rows[i*width+keyCol])
+	}
+	out, offsets := clusterRows(rad, rows, width, o)
+	return &RowsResult{Rows: out, Width: width, Offsets: offsets}, nil
+}
+
+// Count is the radix_count operator of Figure 4: it analyses a
+// (partially) radix-clustered oid column and returns the actual
+// cluster borders, which Radix-Decluster needs to initialise its
+// cluster cursor array. B and I must match the clustering that
+// produced the column.
+func Count(oids []OID, bits, ignore int) ([]bat.Border, error) {
+	if bits < 0 || ignore < 0 || bits+ignore > 32 {
+		return nil, fmt.Errorf("radix: Count: bad bits=%d ignore=%d", bits, ignore)
+	}
+	h := 1 << bits
+	counts := make([]int, h)
+	mask := uint32(h - 1)
+	sh := uint(ignore)
+	for _, o := range oids {
+		counts[(o>>sh)&mask]++
+	}
+	borders := make([]bat.Border, h)
+	pos := 0
+	for c := 0; c < h; c++ {
+		borders[c] = bat.Border{Start: pos, End: pos + counts[c]}
+		pos += counts[c]
+	}
+	// A clustered column must be non-decreasing in its radix field.
+	prev := uint32(0)
+	for i, o := range oids {
+		r := (o >> sh) & mask
+		if i > 0 && r < prev {
+			return nil, fmt.Errorf("radix: Count: column not clustered on bits [%d,%d) at position %d", ignore, ignore+bits, i)
+		}
+		prev = r
+	}
+	return borders, nil
+}
+
+// SortOIDPairs fully sorts an [oid,oid] BAT on the key column by
+// radix-clustering on all significant bits (Radix-Sort, §3.1), using
+// as many passes as the hierarchy's per-pass fanout limit demands.
+func SortOIDPairs(key, other []OID, h mem.Hierarchy) (*OIDPairsResult, error) {
+	maxKey := OID(0)
+	for _, k := range key {
+		if k > maxKey {
+			maxKey = k
+		}
+	}
+	bits := mem.Log2Ceil(int(maxKey) + 1)
+	if bits == 0 {
+		bits = 1
+	}
+	o := Opts{Bits: bits, Passes: SplitBits(bits, MaxBitsPerPass(h))}
+	return ClusterOIDPairs(key, other, o)
+}
+
+// OptimalBits computes the paper's §3.1 cluster-granularity formula
+//
+//	B = 1 + log2(|COLUMN|) − log2(C / width)
+//
+// the smallest B for which the span of one cluster in a source column
+// of |COLUMN| width-byte values fits the cache C, so each clustered
+// Positional-Join touches a cacheable region.
+func OptimalBits(colLen, width, cacheBytes int) int {
+	if colLen <= 0 || width <= 0 || cacheBytes <= 0 {
+		return 0
+	}
+	perCluster := cacheBytes / width // tuples whose values fit the cache
+	if perCluster < 1 {
+		perCluster = 1
+	}
+	if colLen <= perCluster {
+		return 0
+	}
+	b := 1 + mem.Log2Floor(colLen) - mem.Log2Floor(perCluster)
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// IgnoreBits computes I = log2(|JOININDEX|) − B (§3.1): how many low
+// oid bits Radix-Cluster may leave unsorted given B clustering bits.
+func IgnoreBits(jiLen, bits int) int {
+	i := mem.Log2Ceil(jiLen) - bits
+	if i < 0 {
+		return 0
+	}
+	return i
+}

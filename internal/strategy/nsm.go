@@ -1,0 +1,270 @@
+package strategy
+
+import (
+	"fmt"
+	"time"
+
+	"radixdecluster/internal/core"
+	"radixdecluster/internal/jive"
+	"radixdecluster/internal/join"
+	"radixdecluster/internal/mem"
+	"radixdecluster/internal/nsm"
+	"radixdecluster/internal/radix"
+)
+
+// NSMSide describes one join side for the NSM strategies: a row-store
+// relation, its key attribute, and the attribute offsets to project.
+type NSMSide struct {
+	Rel      *nsm.Relation
+	KeyCol   int
+	ProjCols []int
+}
+
+func (s NSMSide) validate(name string) error {
+	if s.Rel == nil {
+		return fmt.Errorf("strategy: %s: nil relation", name)
+	}
+	if s.KeyCol < 0 || s.KeyCol >= s.Rel.Width {
+		return fmt.Errorf("strategy: %s: key column %d outside width %d", name, s.KeyCol, s.Rel.Width)
+	}
+	for _, c := range s.ProjCols {
+		if c < 0 || c >= s.Rel.Width {
+			return fmt.Errorf("strategy: %s: projection column %d outside width %d", name, c, s.Rel.Width)
+		}
+	}
+	return nil
+}
+
+// scanWide extracts the [key | π] wide tuples of an NSM
+// pre-projection scan, record at a time (the paper's "NSM projection
+// routine").
+func (s NSMSide) scanWide() ([]int32, int) {
+	cols := make([]int, 0, len(s.ProjCols)+1)
+	cols = append(cols, s.KeyCol)
+	cols = append(cols, s.ProjCols...)
+	rel := s.Rel.ScanProject(s.Rel.Name+"_wide", cols)
+	return rel.Data, rel.Width
+}
+
+// NSMPre runs NSM pre-projection: projection attributes are copied
+// out of the wide records during the scan and travel through the
+// join. partitioned=false is the naive "NSM-pre-hash" baseline of
+// Figure 10; true is the cache-conscious "NSM-pre-phash".
+func NSMPre(larger, smaller NSMSide, partitioned bool, cfg Config) (*Result, error) {
+	if err := larger.validate("larger"); err != nil {
+		return nil, err
+	}
+	if err := smaller.validate("smaller"); err != nil {
+		return nil, err
+	}
+	res := &Result{LargerMethod: 'p', SmallerMethod: 'p'}
+	start := time.Now()
+	t := time.Now()
+	lRows, lw := larger.scanWide()
+	sRows, sw := smaller.scanWide()
+	res.Phases.Scan = time.Since(t)
+
+	t = time.Now()
+	var rr *join.RowsResult
+	var err error
+	if partitioned {
+		jo := joinOpts(cfg, smaller.Rel.Len(), sw*4)
+		res.JoinBits = jo.Bits
+		rr, err = join.PartitionedRows(lRows, lw, 0, sRows, sw, 0, jo)
+	} else {
+		rr, err = join.HashRows(lRows, lw, 0, sRows, sw, 0)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Phases.Join = time.Since(t)
+	res.Rows, res.RowWidth = rr.Rows, rr.Width
+	res.N = rr.Len()
+	res.Phases.Total = time.Since(start)
+	return res, nil
+}
+
+// NSMPostDecluster runs post-projection over NSM storage with the
+// Radix algorithms: key columns are extracted for the join-index, the
+// join-index is partially clustered for the larger side's record
+// gathers, and the smaller side goes through clustered gathers +
+// Radix-Decluster. Because Positional-Joins now touch ω-wide records,
+// the cluster granularity must fit whole-record spans in the cache —
+// the tuple-width penalty that makes this strategy lag DSM
+// post-projection (§4.2).
+func NSMPostDecluster(larger, smaller NSMSide, cfg Config) (*Result, error) {
+	if err := larger.validate("larger"); err != nil {
+		return nil, err
+	}
+	if err := smaller.validate("smaller"); err != nil {
+		return nil, err
+	}
+	h := cfg.hier()
+	c := h.LLC().Size
+	res := &Result{LargerMethod: PartialCluster, SmallerMethod: Declustered}
+	start := time.Now()
+
+	// Key extraction scans.
+	t := time.Now()
+	lKeys := larger.Rel.ScanColumn(larger.KeyCol)
+	sKeys := smaller.Rel.ScanColumn(smaller.KeyCol)
+	lOIDs := denseOIDs(larger.Rel.Len())
+	sOIDs := denseOIDs(smaller.Rel.Len())
+	res.Phases.Scan = time.Since(t)
+
+	jo := joinOpts(cfg, smaller.Rel.Len(), 4)
+	res.JoinBits = jo.Bits
+	t = time.Now()
+	ji, err := join.Partitioned(lOIDs, lKeys, sOIDs, sKeys, jo)
+	if err != nil {
+		return nil, err
+	}
+	res.Phases.Join = time.Since(t)
+	res.N = ji.Len()
+
+	piL, piS := len(larger.ProjCols), len(smaller.ProjCols)
+	res.RowWidth = piL + piS
+	res.Rows = make([]int32, res.N*res.RowWidth)
+
+	// Larger side: partial-cluster the join-index so each cluster's
+	// record span fits the cache (tuple width counts!), then gather
+	// the projected fields straight into the result records.
+	po := projOpts(cfg.LargerBits, larger.Rel.Len(), larger.Rel.TupleBytes(), c)
+	res.LargerBits = po.Bits
+	t = time.Now()
+	cl, err := radix.ClusterOIDPairs(ji.Larger, ji.Smaller, po)
+	if err != nil {
+		return nil, err
+	}
+	res.Phases.ReorderJI = time.Since(t)
+	t = time.Now()
+	if err := larger.Rel.GatherProjectInto(res.Rows, res.RowWidth, 0, cl.Key, larger.ProjCols); err != nil {
+		return nil, err
+	}
+	res.Phases.ProjectLarger = time.Since(t)
+
+	// Smaller side: re-cluster on the smaller oid, gather the fields
+	// in clustered order, then Radix-Decluster whole projected records
+	// into the result.
+	window := cfg.Window
+	if window == 0 {
+		w := piS * 4
+		if w == 0 {
+			w = 4
+		}
+		window = core.PlanWindow(h, w)
+	}
+	res.Window = window
+	so := projOpts(cfg.SmallerBits, smaller.Rel.Len(), smaller.Rel.TupleBytes(), c)
+	if maxB := core.MaxBitsForWindow(window); so.Bits > maxB {
+		so = radix.Opts{Bits: maxB, Ignore: mem.Log2Ceil(smaller.Rel.Len()) - maxB}
+		if so.Ignore < 0 {
+			so.Ignore = 0
+		}
+	}
+	res.SmallerBits = so.Bits
+	t = time.Now()
+	cl2, err := core.ClusterForDecluster(cl.Other, so)
+	if err != nil {
+		return nil, err
+	}
+	res.Phases.ReorderJI += time.Since(t)
+	if piS > 0 {
+		t = time.Now()
+		clustered := smaller.Rel.GatherProject("sproj", cl2.SmallerOIDs, smaller.ProjCols)
+		res.Phases.ProjectSmaller = time.Since(t)
+		t = time.Now()
+		err = core.DeclusterRowsInto(res.Rows, res.RowWidth, piL,
+			clustered.Data, piS, cl2.ResultPos, cl2.Borders, window)
+		if err != nil {
+			return nil, err
+		}
+		res.Phases.Decluster = time.Since(t)
+	}
+	res.Phases.Total = time.Since(start)
+	return res, nil
+}
+
+// NSMPostJive runs post-projection with Jive-Join [LR99]: sort the
+// join-index on the larger oids, then Left/Right Jive over the NSM
+// records. jiveBits 0 lets the planner size the fan-out so each
+// cluster's write-back region fits the cache.
+func NSMPostJive(larger, smaller NSMSide, jiveBits int, cfg Config) (*Result, error) {
+	if err := larger.validate("larger"); err != nil {
+		return nil, err
+	}
+	if err := smaller.validate("smaller"); err != nil {
+		return nil, err
+	}
+	h := cfg.hier()
+	res := &Result{LargerMethod: 'j', SmallerMethod: 'j'}
+	start := time.Now()
+
+	t := time.Now()
+	lKeys := larger.Rel.ScanColumn(larger.KeyCol)
+	sKeys := smaller.Rel.ScanColumn(smaller.KeyCol)
+	lOIDs := denseOIDs(larger.Rel.Len())
+	sOIDs := denseOIDs(smaller.Rel.Len())
+	res.Phases.Scan = time.Since(t)
+
+	jo := joinOpts(cfg, smaller.Rel.Len(), 4)
+	res.JoinBits = jo.Bits
+	t = time.Now()
+	ji, err := join.Partitioned(lOIDs, lKeys, sOIDs, sKeys, jo)
+	if err != nil {
+		return nil, err
+	}
+	res.Phases.Join = time.Since(t)
+	res.N = ji.Len()
+
+	// Jive requires the join-index sorted on the left table's oids.
+	t = time.Now()
+	srt, err := radix.SortOIDPairs(ji.Larger, ji.Smaller, h)
+	if err != nil {
+		return nil, err
+	}
+	sorted := &join.Index{Larger: srt.Key, Smaller: srt.Other}
+	res.Phases.ReorderJI = time.Since(t)
+
+	if jiveBits == 0 {
+		// Size the fan-out so one cluster's result write-back region
+		// (right-phase random access) fits the cache.
+		w := len(smaller.ProjCols) * 4
+		if w == 0 {
+			w = 4
+		}
+		jiveBits = radix.OptimalBits(res.N, w, h.LLC().Size)
+	}
+	res.SmallerBits = jiveBits
+
+	t = time.Now()
+	lr, err := jive.LeftRows(sorted, larger.Rel, larger.ProjCols, smaller.Rel.Len(), jiveBits)
+	if err != nil {
+		return nil, err
+	}
+	res.Phases.ProjectLarger = time.Since(t)
+	t = time.Now()
+	rr, err := jive.RightRows(lr, smaller.Rel, smaller.ProjCols)
+	if err != nil {
+		return nil, err
+	}
+	res.Phases.ProjectSmaller = time.Since(t)
+
+	t = time.Now()
+	combined, err := nsm.AppendFields("result", lr.LeftRows, rr)
+	if err != nil {
+		return nil, err
+	}
+	res.Phases.Decluster = time.Since(t) // assembly, kept out of the projection phases
+	res.Rows, res.RowWidth = combined.Data, combined.Width
+	res.Phases.Total = time.Since(start)
+	return res, nil
+}
+
+func denseOIDs(n int) []OID {
+	out := make([]OID, n)
+	for i := range out {
+		out[i] = OID(i)
+	}
+	return out
+}

@@ -1,0 +1,383 @@
+// Package strategy composes the substrate operators into the
+// end-to-end project-join strategies the paper evaluates (§4):
+//
+//	SELECT larger.a1..aY, smaller.b1..bZ
+//	FROM larger, smaller WHERE larger.key = smaller.key
+//
+// Strategies (Figure 10 legend):
+//
+//   - DSM post-projection ("DSM-post-decluster"): Partitioned
+//     Hash-Join on the key columns makes a join-index; the larger
+//     side's projections use one of unsorted/sorted/partial-cluster
+//     (u/s/c, §4.1), the smaller side's unsorted or Radix-Decluster
+//     (u/d).
+//   - DSM pre-projection ("DSM-pre-phash"): the projection columns
+//     are stitched into wide tuples during the scans and travel
+//     through a partitioned hash-join.
+//   - NSM pre-projection ("NSM-pre-phash"/"NSM-pre-hash"): record
+//     scans extract [key|π] wide tuples, joined partitioned or naive.
+//   - NSM post-projection with Radix-Decluster and with Jive-Join.
+//
+// Every run returns a phase-by-phase wall-clock breakdown and the
+// parameters (radix bits, window) the planner chose.
+package strategy
+
+import (
+	"fmt"
+	"time"
+
+	"radixdecluster/internal/bat"
+	"radixdecluster/internal/core"
+	"radixdecluster/internal/join"
+	"radixdecluster/internal/mem"
+	"radixdecluster/internal/posjoin"
+	"radixdecluster/internal/radix"
+)
+
+// OID mirrors bat.OID.
+type OID = bat.OID
+
+// ProjMethod is a per-side projection method code of §4.1.
+type ProjMethod byte
+
+const (
+	// Auto lets the planner pick (the Figure-10c u/u → c/u → c/d
+	// switching behaviour).
+	Auto ProjMethod = 0
+	// Unsorted: Positional-Joins straight from the join-index ("u").
+	Unsorted ProjMethod = 'u'
+	// SortedM: Radix-Sort the join-index first ("s"). Larger side only.
+	SortedM ProjMethod = 's'
+	// PartialCluster: partially Radix-Cluster the join-index ("c").
+	// Larger side only.
+	PartialCluster ProjMethod = 'c'
+	// Declustered: clustered fetch + Radix-Decluster ("d"). Smaller
+	// side only.
+	Declustered ProjMethod = 'd'
+)
+
+func (m ProjMethod) String() string {
+	if m == Auto {
+		return "auto"
+	}
+	return string(rune(m))
+}
+
+// Config carries the hierarchy and optional planner overrides
+// (zero values mean "let the planner decide").
+type Config struct {
+	Hier mem.Hierarchy
+	// JoinBits overrides B for the Partitioned Hash-Join clustering.
+	JoinBits int
+	// LargerBits / SmallerBits override B for the join-index
+	// (re-)clusterings of the two projection phases.
+	LargerBits  int
+	SmallerBits int
+	// Window overrides the Radix-Decluster insertion window (tuples).
+	Window int
+}
+
+func (c Config) hier() mem.Hierarchy {
+	if len(c.Hier.Levels) == 0 {
+		return mem.Pentium4()
+	}
+	return c.Hier
+}
+
+// Phases is the wall-clock breakdown of one strategy run.
+type Phases struct {
+	// Scan: record scans / wide-tuple stitching / key extraction.
+	Scan time.Duration
+	// Join: clustering of the join inputs plus hash build/probe.
+	Join time.Duration
+	// ReorderJI: Radix-Sort or partial Radix-Cluster of the join-index.
+	ReorderJI time.Duration
+	// ProjectLarger / ProjectSmaller: the Positional-Joins.
+	ProjectLarger  time.Duration
+	ProjectSmaller time.Duration
+	// Decluster: the Radix-Decluster (or Jive right-phase scatter).
+	Decluster time.Duration
+	// Total is the end-to-end time.
+	Total time.Duration
+}
+
+func (p Phases) String() string {
+	return fmt.Sprintf("scan=%v join=%v reorder=%v projL=%v projS=%v declust=%v total=%v",
+		p.Scan.Round(time.Microsecond), p.Join.Round(time.Microsecond),
+		p.ReorderJI.Round(time.Microsecond), p.ProjectLarger.Round(time.Microsecond),
+		p.ProjectSmaller.Round(time.Microsecond), p.Decluster.Round(time.Microsecond),
+		p.Total.Round(time.Microsecond))
+}
+
+// Result is a completed project-join.
+type Result struct {
+	// N is the result cardinality.
+	N int
+	// LargerCols / SmallerCols hold the DSM result columns in result
+	// order (DSM strategies).
+	LargerCols  [][]int32
+	SmallerCols [][]int32
+	// Rows holds row-major result records (NSM and pre-projection
+	// strategies); RowWidth is their width.
+	Rows     []int32
+	RowWidth int
+	// Phases is the timing breakdown; the remaining fields record the
+	// planner's choices.
+	Phases        Phases
+	LargerMethod  ProjMethod
+	SmallerMethod ProjMethod
+	JoinBits      int
+	LargerBits    int
+	SmallerBits   int
+	Window        int
+}
+
+// DSMSide describes one join side for the DSM strategies: the
+// (possibly selected) join input [OIDs, Keys] plus the base
+// projection columns the oids point into.
+type DSMSide struct {
+	OIDs []OID
+	Keys []int32
+	// Cols are the π base projection columns (each of base length).
+	Cols [][]int32
+	// BaseN is the base-table cardinality; oids lie in [0, BaseN).
+	BaseN int
+}
+
+func (s DSMSide) validate(name string) error {
+	if len(s.OIDs) != len(s.Keys) {
+		return fmt.Errorf("strategy: %s: %d oids vs %d keys", name, len(s.OIDs), len(s.Keys))
+	}
+	if s.BaseN <= 0 && len(s.OIDs) > 0 {
+		return fmt.Errorf("strategy: %s: BaseN not set", name)
+	}
+	for c, col := range s.Cols {
+		if len(col) != s.BaseN {
+			return fmt.Errorf("strategy: %s: column %d has %d values, want BaseN=%d", name, c, len(col), s.BaseN)
+		}
+	}
+	return nil
+}
+
+// resolveLarger picks the larger-side method (§4.1, Figure 8): fall
+// back to unsorted while one column still fits the cache; beyond
+// that, partial-cluster for few projection columns and full sort for
+// many (the Figure-8 crossover at π ≈ 16), since the sort is paid
+// once but helps every column.
+func resolveLarger(m ProjMethod, pi, baseN int, c int) ProjMethod {
+	if m != Auto {
+		return m
+	}
+	if pi == 0 || baseN*4 <= c {
+		return Unsorted
+	}
+	if pi > 16 {
+		return SortedM
+	}
+	return PartialCluster
+}
+
+// resolveSmaller picks the smaller-side method: unsorted while the
+// columns fit the cache, Radix-Decluster beyond (§4.1: "Radix-
+// Decluster is to be used only for the second (smaller) projection
+// table, with unsorted processing as the only alternative").
+func resolveSmaller(m ProjMethod, pi, baseN int, c int) ProjMethod {
+	if m != Auto {
+		return m
+	}
+	if pi == 0 || baseN*4 <= c {
+		return Unsorted
+	}
+	return Declustered
+}
+
+// joinOpts plans the Partitioned Hash-Join clustering.
+func joinOpts(cfg Config, smallerTuples, tupleBytes int) radix.Opts {
+	h := cfg.hier()
+	b := cfg.JoinBits
+	if b == 0 {
+		b = join.PlanBits(smallerTuples, tupleBytes, h.LLC().Size)
+	}
+	return radix.Opts{Bits: b, Passes: radix.SplitBits(b, radix.MaxBitsPerPass(h))}
+}
+
+// projOpts plans a join-index (re-)clustering: B bits so one cluster's
+// span in the projected base region fits the cache, ignoring the rest
+// of the oid domain's bits (§3.1).
+func projOpts(override, baseN, tupleBytes, cacheBytes int) radix.Opts {
+	b := override
+	if b == 0 {
+		b = radix.OptimalBits(baseN, tupleBytes, cacheBytes)
+	}
+	i := mem.Log2Ceil(baseN) - b
+	if i < 0 {
+		i = 0
+	}
+	return radix.Opts{Bits: b, Ignore: i}
+}
+
+// DSMPost runs the paper's headline strategy: DSM post-projection
+// with the given per-side methods (Auto to let the planner choose).
+func DSMPost(larger, smaller DSMSide, lm, sm ProjMethod, cfg Config) (*Result, error) {
+	if err := larger.validate("larger"); err != nil {
+		return nil, err
+	}
+	if err := smaller.validate("smaller"); err != nil {
+		return nil, err
+	}
+	h := cfg.hier()
+	c := h.LLC().Size
+	res := &Result{}
+	start := time.Now()
+
+	// Phase 1: join-index via Partitioned Hash-Join on the key BATs.
+	jo := joinOpts(cfg, len(smaller.OIDs), 4)
+	res.JoinBits = jo.Bits
+	t := time.Now()
+	ji, err := join.Partitioned(larger.OIDs, larger.Keys, smaller.OIDs, smaller.Keys, jo)
+	if err != nil {
+		return nil, err
+	}
+	res.Phases.Join = time.Since(t)
+	res.N = ji.Len()
+
+	// Phase 2: larger-side projections. The reordering chosen here
+	// fixes the result order.
+	lm = resolveLarger(lm, len(larger.Cols), larger.BaseN, c)
+	res.LargerMethod = lm
+	largerOIDs := ji.Larger
+	smallerInResultOrder := ji.Smaller
+	switch lm {
+	case Unsorted:
+		// Result order = join output order.
+	case SortedM:
+		t = time.Now()
+		srt, err := radix.SortOIDPairs(ji.Larger, ji.Smaller, h)
+		if err != nil {
+			return nil, err
+		}
+		res.Phases.ReorderJI = time.Since(t)
+		largerOIDs, smallerInResultOrder = srt.Key, srt.Other
+	case PartialCluster:
+		po := projOpts(cfg.LargerBits, larger.BaseN, 4, c)
+		res.LargerBits = po.Bits
+		t = time.Now()
+		cl, err := radix.ClusterOIDPairs(ji.Larger, ji.Smaller, po)
+		if err != nil {
+			return nil, err
+		}
+		res.Phases.ReorderJI = time.Since(t)
+		largerOIDs, smallerInResultOrder = cl.Key, cl.Other
+	default:
+		return nil, fmt.Errorf("strategy: larger-side method %q (want u, s or c)", lm)
+	}
+	t = time.Now()
+	res.LargerCols, err = posjoin.FetchMany(larger.Cols, largerOIDs)
+	if err != nil {
+		return nil, err
+	}
+	res.Phases.ProjectLarger = time.Since(t)
+
+	// Phase 3: smaller-side projections.
+	sm = resolveSmaller(sm, len(smaller.Cols), smaller.BaseN, c)
+	res.SmallerMethod = sm
+	switch sm {
+	case Unsorted:
+		t = time.Now()
+		res.SmallerCols, err = posjoin.FetchMany(smaller.Cols, smallerInResultOrder)
+		if err != nil {
+			return nil, err
+		}
+		res.Phases.ProjectSmaller = time.Since(t)
+	case Declustered:
+		window := cfg.Window
+		if window == 0 {
+			window = core.PlanWindow(h, 4)
+		}
+		res.Window = window
+		po := projOpts(cfg.SmallerBits, smaller.BaseN, 4, c)
+		if maxB := core.MaxBitsForWindow(window); po.Bits > maxB {
+			// Keep w = |W|/2^B at or above the paper's w=32 guidance.
+			po = radix.Opts{Bits: maxB, Ignore: mem.Log2Ceil(smaller.BaseN) - maxB}
+			if po.Ignore < 0 {
+				po.Ignore = 0
+			}
+		}
+		res.SmallerBits = po.Bits
+		t = time.Now()
+		cl, err := core.ClusterForDecluster(smallerInResultOrder, po)
+		if err != nil {
+			return nil, err
+		}
+		res.Phases.ReorderJI += time.Since(t)
+		res.SmallerCols = make([][]int32, len(smaller.Cols))
+		for k, col := range smaller.Cols {
+			t = time.Now()
+			cv, err := posjoin.Clustered(col, cl.SmallerOIDs, cl.Borders)
+			if err != nil {
+				return nil, err
+			}
+			res.Phases.ProjectSmaller += time.Since(t)
+			t = time.Now()
+			res.SmallerCols[k], err = core.Decluster(cv, cl.ResultPos, cl.Borders, window)
+			if err != nil {
+				return nil, err
+			}
+			res.Phases.Decluster += time.Since(t)
+		}
+	default:
+		return nil, fmt.Errorf("strategy: smaller-side method %q (want u or d)", sm)
+	}
+	res.Phases.Total = time.Since(start)
+	return res, nil
+}
+
+// DSMPre runs DSM pre-projection ("DSM-pre-phash"): the scans stitch
+// [key|π] wide tuples out of the columns (column-at-a-time gathers
+// through the selection oids), and the wide tuples travel through a
+// partitioned hash-join.
+func DSMPre(larger, smaller DSMSide, cfg Config) (*Result, error) {
+	if err := larger.validate("larger"); err != nil {
+		return nil, err
+	}
+	if err := smaller.validate("smaller"); err != nil {
+		return nil, err
+	}
+	res := &Result{LargerMethod: 'p', SmallerMethod: 'p'}
+	start := time.Now()
+	t := time.Now()
+	lRows, lw := stitchRows(larger)
+	sRows, sw := stitchRows(smaller)
+	res.Phases.Scan = time.Since(t)
+
+	jo := joinOpts(cfg, len(smaller.OIDs), sw*4)
+	res.JoinBits = jo.Bits
+	t = time.Now()
+	rr, err := join.PartitionedRows(lRows, lw, 0, sRows, sw, 0, jo)
+	if err != nil {
+		return nil, err
+	}
+	res.Phases.Join = time.Since(t)
+	res.Rows, res.RowWidth = rr.Rows, rr.Width
+	res.N = rr.Len()
+	res.Phases.Total = time.Since(start)
+	return res, nil
+}
+
+// stitchRows builds the [key | π columns] wide tuples of a
+// pre-projection scan, column at a time.
+func stitchRows(s DSMSide) ([]int32, int) {
+	n := len(s.OIDs)
+	w := 1 + len(s.Cols)
+	rows := make([]int32, n*w)
+	for i, k := range s.Keys {
+		rows[i*w] = k
+	}
+	for j, col := range s.Cols {
+		off := j + 1
+		for i, o := range s.OIDs {
+			rows[i*w+off] = col[o]
+		}
+	}
+	return rows, w
+}

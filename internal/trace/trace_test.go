@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"radixdecluster/internal/cachesim"
+	"radixdecluster/internal/core"
+	"radixdecluster/internal/mem"
+	"radixdecluster/internal/radix"
+)
+
+// declusterInput builds valid decluster inputs via the real clustering.
+func declusterInput(n, bits int, seed uint64) *core.Clustered {
+	rng := rand.New(rand.NewPCG(seed, 3))
+	smaller := make([]OID, n)
+	for i := range smaller {
+		smaller[i] = OID(rng.IntN(n))
+	}
+	cl, err := core.ClusterForDecluster(smaller, radix.Opts{Bits: bits, Ignore: radix.IgnoreBits(n, bits)})
+	if err != nil {
+		panic(err)
+	}
+	return cl
+}
+
+func sim(t *testing.T, h mem.Hierarchy) *cachesim.Sim {
+	t.Helper()
+	s, err := cachesim.New(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// Figure 7a's central effect: Radix-Decluster gets faster with a
+// growing insertion window until ‖W‖ exceeds the cache, then L2
+// misses jump sharply.
+func TestDeclusterWindowSweepMatchesFig7aShape(t *testing.T) {
+	h := mem.Pentium4()
+	const n = 256 << 10 // 256K tuples = 1MB values, 2x the 512KB L2
+	cl := declusterInput(n, 6, 1)
+
+	missesAt := func(windowBytes int) uint64 {
+		s := sim(t, h)
+		if err := Decluster(s, cl.ResultPos, cl.Borders, windowBytes/4); err != nil {
+			t.Fatal(err)
+		}
+		return s.MissesOf("L2")
+	}
+	small := missesAt(64 << 10)  // 64KB window: well inside L2
+	large := missesAt(512 << 10) // == L2 size: borderline
+	huge := missesAt(2 << 20)    // 4x L2: the scatter thrashes
+
+	if huge < small*3/2 {
+		t.Fatalf("L2 misses with oversized window = %d, want well above %d (cache-sized window)", huge, small)
+	}
+	if large > huge {
+		t.Fatalf("misses at ‖W‖=C (%d) should not exceed the oversized window (%d)", large, huge)
+	}
+}
+
+// TLB misses must explode once the window spans more pages than TLB
+// entries — the second threshold drawn in Figure 7a.
+func TestDeclusterWindowTLBThreshold(t *testing.T) {
+	h := mem.Pentium4() // 64-entry TLB = 256KB reach
+	const n = 256 << 10
+	cl := declusterInput(n, 4, 2)
+	tlbAt := func(windowBytes int) uint64 {
+		s := sim(t, h)
+		if err := Decluster(s, cl.ResultPos, cl.Borders, windowBytes/4); err != nil {
+			t.Fatal(err)
+		}
+		return s.MissesOf("TLB")
+	}
+	inside := tlbAt(128 << 10) // 32 pages: fits the TLB
+	beyond := tlbAt(1 << 20)   // 256 pages: 4x the TLB reach
+	if beyond < inside*2 {
+		t.Fatalf("TLB misses beyond reach = %d, want well above %d", beyond, inside)
+	}
+}
+
+// The Figure-9a effect: single-pass Radix-Cluster thrashes once 2^B
+// cursors exceed the cache/TLB capacity, and a 2-pass clustering with
+// the same total B avoids it.
+func TestClusterPassTradeoffMatchesFig9a(t *testing.T) {
+	h := mem.Pentium4()
+	rng := rand.New(rand.NewPCG(7, 1))
+	const n = 128 << 10
+	vals := make([]int32, n)
+	for i := range vals {
+		vals[i] = int32(rng.Uint32())
+	}
+	run := func(passes []int) uint64 {
+		s := sim(t, h)
+		ClusterPairs(s, vals, 14, 0, passes)
+		return s.MissesOf("TLB")
+	}
+	single := run([]int{14})   // 16384 cursors ≫ 64 TLB entries
+	double := run([]int{7, 7}) // 128 cursors per pass
+	if single < double {
+		t.Fatalf("single-pass 14-bit cluster TLB misses = %d, expected to exceed 2-pass = %d", single, double)
+	}
+}
+
+// Positional-Join: clustered access must miss far less than unsorted
+// access when the column exceeds the cache (Figure 9c vs unclustered).
+func TestPosJoinClusteredBeatsUnsorted(t *testing.T) {
+	h := mem.Pentium4()
+	const colLen = 512 << 10 // 2MB column, 4x L2
+	const nJI = 128 << 10
+	rng := rand.New(rand.NewPCG(9, 9))
+	oids := make([]OID, nJI)
+	for i := range oids {
+		oids[i] = OID(rng.IntN(colLen))
+	}
+	sU := sim(t, h)
+	PosJoinUnsorted(sU, oids, colLen)
+
+	pos := make([]OID, nJI)
+	for i := range pos {
+		pos[i] = OID(i)
+	}
+	bits := radix.OptimalBits(colLen, 4, h.LLC().Size)
+	cl, err := radix.ClusterOIDPairs(oids, pos, radix.Opts{Bits: bits, Ignore: mem.Log2Ceil(colLen) - bits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sC := sim(t, h)
+	PosJoinClustered(sC, cl.Key, cl.Borders(), colLen)
+
+	u, c := sU.MissesOf("L2"), sC.MissesOf("L2")
+	if c*2 > u {
+		t.Fatalf("clustered L2 misses = %d, want well below unsorted = %d", c, u)
+	}
+}
+
+// Hash join on a cache-resident inner side must miss far less than on
+// an oversized one — the partitioning rationale of §2.1.
+func TestHashJoinPartitionEffect(t *testing.T) {
+	h := mem.Pentium4()
+	rng := rand.New(rand.NewPCG(11, 3))
+	outer := make([]int32, 64<<10)
+	for i := range outer {
+		outer[i] = int32(rng.Uint32())
+	}
+	smallInner := make([]int32, 8<<10) // 8K tuples: table+values fit L2
+	for i := range smallInner {
+		smallInner[i] = int32(rng.Uint32())
+	}
+	bigInner := make([]int32, 256<<10) // 256K tuples: 3MB table+values
+	for i := range bigInner {
+		bigInner[i] = int32(rng.Uint32())
+	}
+	sSmall := sim(t, h)
+	HashJoin(sSmall, smallInner, outer, "small")
+	sBig := sim(t, h)
+	HashJoin(sBig, bigInner, outer, "big")
+	// Compare probe-phase miss rate per outer tuple via total misses,
+	// normalising build cost away by construction (same outer).
+	small := float64(sSmall.MissesOf("L2"))
+	big := float64(sBig.MissesOf("L2"))
+	if big < small*2 {
+		t.Fatalf("oversized inner L2 misses = %.0f, want ≫ cache-resident = %.0f", big, small)
+	}
+}

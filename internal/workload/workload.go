@@ -1,0 +1,311 @@
+// Package workload generates the synthetic relations of the paper's
+// evaluation (§4): pairs of equal-cardinality relations of ω
+// all-integer (4-byte) columns, joined on a key column, with
+// controllable join hit rate h ∈ {3, 1, 0.3} and selectivity
+// s ∈ {1, 0.1, 0.01} (one join relation being an s-fraction selection
+// of a larger base table, which makes the projections sparse).
+//
+// Payload column values are a deterministic function of (oid, column),
+// so any projection result can be verified without reference data.
+// Base tables materialise lazily, column by column — a DSM experiment
+// with π projection columns only ever touches π+1 arrays, exactly as
+// a DSM system would ("the unused columns stay untouched", §4.1).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"radixdecluster/internal/bat"
+	"radixdecluster/internal/nsm"
+)
+
+// OID mirrors bat.OID.
+type OID = bat.OID
+
+// Params describes one experiment's data.
+type Params struct {
+	// N is the cardinality of each join relation.
+	N int
+	// Omega is the number of columns per relation (key + payload).
+	Omega int
+	// HitRate h sets the expected join result cardinality to h*N.
+	// h=1 is a key/foreign-key join; h=3 a 1:3 expansion; h=0.3 a
+	// semi-selective join.
+	HitRate float64
+	// SelLarger / SelSmaller make the respective join relation a
+	// selection of this fraction from a base table of N/s tuples
+	// (1 = no selection; the relation is its own base).
+	SelLarger, SelSmaller float64
+	// Skew applies a Zipf-like distribution (exponent Skew) to the
+	// larger side's key draws instead of the uniform default. The
+	// hash in Radix-Cluster exists exactly so that such skewed key
+	// domains still spread over all partitions (§2.2). 0 = uniform.
+	Skew float64
+	// Seed drives all pseudo-randomness; equal Params generate
+	// identical data.
+	Seed uint64
+}
+
+// Validate reports nonsensical parameters.
+func (p Params) Validate() error {
+	if p.N <= 0 {
+		return fmt.Errorf("workload: N = %d", p.N)
+	}
+	if p.Omega < 1 {
+		return fmt.Errorf("workload: Omega = %d; need at least the key column", p.Omega)
+	}
+	if p.HitRate <= 0 {
+		return fmt.Errorf("workload: HitRate = %g", p.HitRate)
+	}
+	for _, s := range []float64{p.SelLarger, p.SelSmaller} {
+		if s <= 0 || s > 1 {
+			return fmt.Errorf("workload: selectivity %g outside (0,1]", s)
+		}
+	}
+	return nil
+}
+
+// Relation is one side of the join: an (optionally selected) view of
+// a base table. The join input is the [SelOIDs, SelKeys] pair; the
+// projection columns live in the base table and are fetched through
+// base oids — sparsely if Selectivity < 1.
+type Relation struct {
+	Name string
+	// BaseN is the base-table cardinality (N/s tuples).
+	BaseN int
+	// Omega is the number of base-table columns (key is column 0).
+	Omega int
+	// SelOIDs are the N selected base oids, ascending (a selection
+	// scan emits them in order). Dense 0..N-1 when s = 1.
+	SelOIDs []OID
+	// SelKeys are the join-key values of the selected tuples,
+	// parallel to SelOIDs.
+	SelKeys []int32
+
+	keys []int32         // base key column (column 0)
+	cols map[int][]int32 // lazily materialised payload columns
+	nrel *nsm.Relation   // lazily materialised NSM image
+}
+
+// N returns the join-relation cardinality (number of selected tuples).
+func (r *Relation) N() int { return len(r.SelOIDs) }
+
+// PayloadValue is the deterministic content of payload column j
+// (1 ≤ j < ω) at base position oid. Tests and experiments verify
+// projection results against it.
+func PayloadValue(oid OID, j int) int32 { return int32(oid)*31 + int32(j) }
+
+// Key returns the base key column (column 0).
+func (r *Relation) Key() []int32 { return r.keys }
+
+// PayloadCol materialises (once) and returns base payload column j.
+func (r *Relation) PayloadCol(j int) []int32 {
+	if j < 1 || j >= r.Omega {
+		panic(fmt.Sprintf("workload: payload column %d outside [1,%d)", j, r.Omega))
+	}
+	if c, ok := r.cols[j]; ok {
+		return c
+	}
+	c := make([]int32, r.BaseN)
+	for o := range c {
+		c[o] = PayloadValue(OID(o), j)
+	}
+	if r.cols == nil {
+		r.cols = make(map[int][]int32)
+	}
+	r.cols[j] = c
+	return c
+}
+
+// ProjCols returns the first pi payload columns — the π projection
+// columns of the experiments.
+func (r *Relation) ProjCols(pi int) [][]int32 {
+	if pi > r.Omega-1 {
+		panic(fmt.Sprintf("workload: pi = %d exceeds the %d payload columns", pi, r.Omega-1))
+	}
+	out := make([][]int32, pi)
+	for j := 0; j < pi; j++ {
+		out[j] = r.PayloadCol(j + 1)
+	}
+	return out
+}
+
+// NSM materialises (once) the full ω-wide NSM image of the base table.
+func (r *Relation) NSM() *nsm.Relation {
+	if r.nrel != nil {
+		return r.nrel
+	}
+	rel := nsm.New(r.Name, r.BaseN, r.Omega)
+	for o := 0; o < r.BaseN; o++ {
+		rec := rel.Record(o)
+		rec[0] = r.keys[o]
+		for j := 1; j < r.Omega; j++ {
+			rec[j] = PayloadValue(OID(o), j)
+		}
+	}
+	r.nrel = rel
+	return rel
+}
+
+// Pair bundles the two join relations.
+type Pair struct {
+	Larger, Smaller *Relation
+	// ExpectedMatches is the exact join result cardinality.
+	ExpectedMatches int
+}
+
+// GenPair generates the two join relations for p. Key construction:
+// the smaller side's selected tuples carry each value of a key domain
+// [0,D) exactly dup times (dup = max(1, round(h))); the larger side's
+// selected tuples draw keys uniformly from [0, D·max(1, 1/h)), so a
+// fraction min(1,h) of them match. Result cardinality is therefore
+// h·N in expectation (exact on the smaller-side multiplicity).
+func GenPair(p Params) (*Pair, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(p.Seed, 0x5eed))
+
+	dup := 1
+	if p.HitRate >= 1.5 {
+		dup = int(p.HitRate + 0.5)
+	}
+	domain := p.N / dup
+	if domain < 1 {
+		domain = 1
+	}
+	// Smaller side: each key value appears exactly dup times, shuffled.
+	smallKeys := make([]int32, p.N)
+	for i := range smallKeys {
+		smallKeys[i] = int32(i % domain)
+	}
+	rng.Shuffle(len(smallKeys), func(i, j int) { smallKeys[i], smallKeys[j] = smallKeys[j], smallKeys[i] })
+
+	// Larger side: uniform over a domain stretched by 1/h for h < 1.
+	stretch := 1.0
+	if p.HitRate < 1 {
+		stretch = 1 / p.HitRate
+	}
+	largeDomain := int(float64(domain)*stretch + 0.5)
+	if largeDomain < 1 {
+		largeDomain = 1
+	}
+	// Exact multiplicity of each smaller key value (N mod dup values
+	// appear dup+1 times).
+	mult := make([]int32, domain)
+	for _, k := range smallKeys {
+		mult[k]++
+	}
+	var zipf *zipfGen
+	if p.Skew > 0 {
+		zipf = newZipf(rng, p.Skew, largeDomain)
+	}
+	largeKeys := make([]int32, p.N)
+	matches := 0
+	for i := range largeKeys {
+		var k int32
+		if zipf != nil {
+			k = int32(zipf.next())
+		} else {
+			k = int32(rng.IntN(largeDomain))
+		}
+		largeKeys[i] = k
+		if int(k) < domain {
+			matches += int(mult[k])
+		}
+	}
+
+	larger, err := buildRelation("larger", largeKeys, p.Omega, p.SelLarger, rng)
+	if err != nil {
+		return nil, err
+	}
+	smaller, err := buildRelation("smaller", smallKeys, p.Omega, p.SelSmaller, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Pair{Larger: larger, Smaller: smaller, ExpectedMatches: matches}, nil
+}
+
+// buildRelation embeds the n selected tuples (with the given keys)
+// into a base table of n/s tuples. Selected positions are drawn one
+// per length-(1/s) bucket, keeping them ascending and spread — a
+// selection scan's natural output. Non-selected base tuples get key
+// -1, which never matches.
+func buildRelation(name string, selKeys []int32, omega int, sel float64, rng *rand.Rand) (*Relation, error) {
+	n := len(selKeys)
+	baseN := int(float64(n)/sel + 0.5)
+	if baseN < n {
+		baseN = n
+	}
+	r := &Relation{
+		Name:    name,
+		BaseN:   baseN,
+		Omega:   omega,
+		SelOIDs: make([]OID, n),
+		SelKeys: make([]int32, n),
+		keys:    make([]int32, baseN),
+	}
+	copy(r.SelKeys, selKeys)
+	for o := range r.keys {
+		r.keys[o] = -1
+	}
+	if baseN == n {
+		for i := range r.SelOIDs {
+			r.SelOIDs[i] = OID(i)
+		}
+	} else {
+		// One selected tuple per bucket of ⌊baseN/n⌋ positions.
+		bucket := baseN / n
+		for i := range r.SelOIDs {
+			lo := i * bucket
+			hi := lo + bucket
+			if i == n-1 {
+				hi = baseN
+			}
+			r.SelOIDs[i] = OID(lo + rng.IntN(hi-lo))
+		}
+	}
+	for i, o := range r.SelOIDs {
+		r.keys[o] = selKeys[i]
+	}
+	return r, nil
+}
+
+// zipfGen draws ranks from an approximate Zipf distribution with the
+// given exponent via inverse-CDF sampling over a precomputed table.
+type zipfGen struct {
+	rng *rand.Rand
+	cdf []float64
+}
+
+func newZipf(rng *rand.Rand, exponent float64, n int) *zipfGen {
+	if n > 1<<16 {
+		n = 1 << 16 // cap the table; the hot keys are what matters
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), exponent)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &zipfGen{rng: rng, cdf: cdf}
+}
+
+func (z *zipfGen) next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

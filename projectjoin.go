@@ -1,0 +1,352 @@
+package radixdecluster
+
+import (
+	"fmt"
+	"time"
+
+	"radixdecluster/internal/core"
+	"radixdecluster/internal/costmodel"
+	"radixdecluster/internal/join"
+	"radixdecluster/internal/nsm"
+	"radixdecluster/internal/radix"
+	"radixdecluster/internal/strategy"
+)
+
+// Strategy selects the end-to-end execution plan for ProjectJoin
+// (Figure 10's legend).
+type Strategy int
+
+const (
+	// AutoStrategy lets the planner choose (it picks DSM
+	// post-projection, the paper's overall winner, with per-side
+	// projection methods resolved by the Figure-10c rules).
+	AutoStrategy Strategy = iota
+	// DSMPostDecluster: join-index first, then column projections with
+	// partial Radix-Cluster / Radix-Decluster — the paper's
+	// contribution.
+	DSMPostDecluster
+	// DSMPre: projection columns travel through a partitioned
+	// hash-join as wide tuples stitched from DSM columns.
+	DSMPre
+	// NSMPreHash: the conventional RDBMS plan — record scans feed a
+	// naive hash join (Figure 10's "NSM-pre-hash" baseline).
+	NSMPreHash
+	// NSMPrePhash: record scans feed a cache-conscious partitioned
+	// hash-join ("NSM-pre-phash").
+	NSMPrePhash
+	// NSMPostDecluster: post-projection over row storage using the
+	// Radix algorithms.
+	NSMPostDecluster
+	// NSMPostJive: post-projection with Jive-Join [LR99].
+	NSMPostJive
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case AutoStrategy:
+		return "auto"
+	case DSMPostDecluster:
+		return "DSM-post-decluster"
+	case DSMPre:
+		return "DSM-pre-phash"
+	case NSMPreHash:
+		return "NSM-pre-hash"
+	case NSMPrePhash:
+		return "NSM-pre-phash"
+	case NSMPostDecluster:
+		return "NSM-post-decluster"
+	case NSMPostJive:
+		return "NSM-post-jive"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ProjMethod selects a per-side projection method for the DSM
+// post-projection strategy (§4.1's one-letter codes).
+type ProjMethod byte
+
+const (
+	// AutoMethod lets the planner decide.
+	AutoMethod ProjMethod = 0
+	// UnsortedMethod ("u"): Positional-Joins straight off the join-index.
+	UnsortedMethod ProjMethod = 'u'
+	// SortedMethod ("s"): Radix-Sort the join-index first (larger side).
+	SortedMethod ProjMethod = 's'
+	// ClusterMethod ("c"): partial Radix-Cluster (larger side).
+	ClusterMethod ProjMethod = 'c'
+	// DeclusterMethod ("d"): clustered fetch + Radix-Decluster
+	// (smaller side).
+	DeclusterMethod ProjMethod = 'd'
+)
+
+// JoinQuery is the paper's §1.1 query:
+//
+//	SELECT larger.a1..aY, smaller.b1..bZ
+//	FROM larger, smaller WHERE larger.key = smaller.key
+type JoinQuery struct {
+	Larger, Smaller *Relation
+	// LargerKey / SmallerKey name the join-key columns.
+	LargerKey, SmallerKey string
+	// LargerProject / SmallerProject name the projection columns
+	// (a1..aY and b1..bZ).
+	LargerProject, SmallerProject []string
+	// Strategy picks the plan; per-side methods refine DSM
+	// post-projection.
+	Strategy                    Strategy
+	LargerMethod, SmallerMethod ProjMethod
+	// Hier drives all planning (zero value: the paper's Pentium 4).
+	Hier Hierarchy
+}
+
+// Timing is the per-phase wall-clock breakdown of a run.
+type Timing struct {
+	Scan           time.Duration
+	Join           time.Duration
+	ReorderJI      time.Duration
+	ProjectLarger  time.Duration
+	ProjectSmaller time.Duration
+	Decluster      time.Duration
+	Total          time.Duration
+}
+
+// Result is a completed project-join. Columns appear in result order:
+// first the larger side's projections, then the smaller side's, named
+// "<relation>.<column>".
+type Result struct {
+	N       int
+	Names   []string
+	Cols    [][]int32
+	Timing  Timing
+	Plan    string
+	runInfo *strategy.Result
+}
+
+// Column returns the result column with the given qualified name.
+func (r *Result) Column(name string) ([]int32, error) {
+	for i, n := range r.Names {
+		if n == name {
+			return r.Cols[i], nil
+		}
+	}
+	return nil, fmt.Errorf("radixdecluster: result has no column %q", name)
+}
+
+// Row copies row i of the result into a fresh slice.
+func (r *Result) Row(i int) []int32 {
+	out := make([]int32, len(r.Cols))
+	for c := range r.Cols {
+		out[c] = r.Cols[c][i]
+	}
+	return out
+}
+
+// ProjectJoin executes the query.
+func ProjectJoin(q JoinQuery) (*Result, error) {
+	if q.Larger == nil || q.Smaller == nil {
+		return nil, fmt.Errorf("radixdecluster: both relations are required")
+	}
+	cfg := strategy.Config{Hier: q.Hier.internal()}
+	st := q.Strategy
+	if st == AutoStrategy {
+		st = DSMPostDecluster
+	}
+	switch st {
+	case DSMPostDecluster, DSMPre:
+		l, err := dsmSide(q.Larger, q.LargerKey, q.LargerProject)
+		if err != nil {
+			return nil, err
+		}
+		s, err := dsmSide(q.Smaller, q.SmallerKey, q.SmallerProject)
+		if err != nil {
+			return nil, err
+		}
+		var res *strategy.Result
+		if st == DSMPre {
+			res, err = strategy.DSMPre(l, s, cfg)
+		} else {
+			res, err = strategy.DSMPost(l, s, strategy.ProjMethod(q.LargerMethod), strategy.ProjMethod(q.SmallerMethod), cfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return buildResult(q, res)
+	case NSMPreHash, NSMPrePhash, NSMPostDecluster, NSMPostJive:
+		l, err := nsmSide(q.Larger, q.LargerKey, q.LargerProject)
+		if err != nil {
+			return nil, err
+		}
+		s, err := nsmSide(q.Smaller, q.SmallerKey, q.SmallerProject)
+		if err != nil {
+			return nil, err
+		}
+		var res *strategy.Result
+		switch st {
+		case NSMPreHash:
+			res, err = strategy.NSMPre(l, s, false, cfg)
+		case NSMPrePhash:
+			res, err = strategy.NSMPre(l, s, true, cfg)
+		case NSMPostDecluster:
+			res, err = strategy.NSMPostDecluster(l, s, cfg)
+		default:
+			res, err = strategy.NSMPostJive(l, s, 0, cfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return buildResult(q, res)
+	}
+	return nil, fmt.Errorf("radixdecluster: unknown strategy %v", q.Strategy)
+}
+
+func dsmSide(r *Relation, key string, proj []string) (strategy.DSMSide, error) {
+	keys, err := r.Column(key)
+	if err != nil {
+		return strategy.DSMSide{}, err
+	}
+	cols, err := r.columns(proj)
+	if err != nil {
+		return strategy.DSMSide{}, err
+	}
+	oids := make([]OID, len(keys))
+	for i := range oids {
+		oids[i] = OID(i)
+	}
+	return strategy.DSMSide{OIDs: oids, Keys: keys, Cols: cols, BaseN: r.Len()}, nil
+}
+
+func nsmSide(r *Relation, key string, proj []string) (strategy.NSMSide, error) {
+	// Materialise the NSM image of the relation: record scans will
+	// read the wide rows, as a row store would.
+	names := r.ColumnNames()
+	cols := make([][]int32, len(names))
+	keyIdx := -1
+	projIdx := make([]int, 0, len(proj))
+	for i, n := range names {
+		c, err := r.Column(n)
+		if err != nil {
+			return strategy.NSMSide{}, err
+		}
+		cols[i] = c
+		if n == key {
+			keyIdx = i
+		}
+	}
+	if keyIdx < 0 {
+		return strategy.NSMSide{}, fmt.Errorf("relation %q has no column %q", r.Name, key)
+	}
+	for _, p := range proj {
+		found := -1
+		for i, n := range names {
+			if n == p {
+				found = i
+			}
+		}
+		if found < 0 {
+			return strategy.NSMSide{}, fmt.Errorf("relation %q has no column %q", r.Name, p)
+		}
+		projIdx = append(projIdx, found)
+	}
+	rel, err := nsm.FromColumns(r.Name, cols...)
+	if err != nil {
+		return strategy.NSMSide{}, err
+	}
+	return strategy.NSMSide{Rel: rel, KeyCol: keyIdx, ProjCols: projIdx}, nil
+}
+
+func buildResult(q JoinQuery, res *strategy.Result) (*Result, error) {
+	out := &Result{
+		N: res.N,
+		Timing: Timing{
+			Scan: res.Phases.Scan, Join: res.Phases.Join, ReorderJI: res.Phases.ReorderJI,
+			ProjectLarger: res.Phases.ProjectLarger, ProjectSmaller: res.Phases.ProjectSmaller,
+			Decluster: res.Phases.Decluster, Total: res.Phases.Total,
+		},
+		Plan: fmt.Sprintf("joinbits=%d largerbits=%d smallerbits=%d window=%d methods=%c/%c",
+			res.JoinBits, res.LargerBits, res.SmallerBits, res.Window,
+			printable(byte(res.LargerMethod)), printable(byte(res.SmallerMethod))),
+		runInfo: res,
+	}
+	for _, n := range q.LargerProject {
+		out.Names = append(out.Names, q.Larger.Name+"."+n)
+	}
+	for _, n := range q.SmallerProject {
+		out.Names = append(out.Names, q.Smaller.Name+"."+n)
+	}
+	switch {
+	case res.LargerCols != nil || res.SmallerCols != nil:
+		out.Cols = append(out.Cols, res.LargerCols...)
+		out.Cols = append(out.Cols, res.SmallerCols...)
+	case res.Rows != nil || res.RowWidth > 0:
+		// Row-major result (pre-projection / NSM strategies):
+		// decompose back into columns for the uniform public shape.
+		out.Cols = make([][]int32, res.RowWidth)
+		for c := 0; c < res.RowWidth; c++ {
+			col := make([]int32, res.N)
+			for i := 0; i < res.N; i++ {
+				col[i] = res.Rows[i*res.RowWidth+c]
+			}
+			out.Cols[c] = col
+		}
+	}
+	if len(out.Cols) != len(out.Names) {
+		return nil, fmt.Errorf("radixdecluster: internal: %d result columns for %d names", len(out.Cols), len(out.Names))
+	}
+	return out, nil
+}
+
+func printable(b byte) byte {
+	if b == 0 {
+		return '-'
+	}
+	return b
+}
+
+// Plan describes what the planner would do for a query, with modeled
+// costs from the Appendix-A model — usable without running anything.
+type Plan struct {
+	JoinBits     int
+	LargerBits   int
+	SmallerBits  int
+	WindowTuples int
+	// ModeledMs is the Appendix-A estimate for the DSM post-projection
+	// strategy.
+	ModeledMs float64
+	// ScalabilityLimit is the largest relation Radix-Decluster handles
+	// efficiently on this hierarchy (§6: C²/(32·width²)).
+	ScalabilityLimit int
+}
+
+// PlanJoin runs the planner and the cost model for a query without
+// executing it.
+func PlanJoin(q JoinQuery) (*Plan, error) {
+	if q.Larger == nil || q.Smaller == nil {
+		return nil, fmt.Errorf("radixdecluster: both relations are required")
+	}
+	h := q.Hier.internal()
+	c := h.LLC().Size
+	nL, nS := q.Larger.Len(), q.Smaller.Len()
+	m := costmodel.Model{H: h}
+	p := &Plan{
+		WindowTuples:     core.PlanWindow(h, 4),
+		ScalabilityLimit: core.ScalabilityLimit(h, 4),
+	}
+	p.JoinBits = planJoinBits(nS, c)
+	p.LargerBits = planProjBits(nL, c)
+	p.SmallerBits = planProjBits(nS, c)
+	if p.SmallerBits > core.MaxBitsForWindow(p.WindowTuples) {
+		p.SmallerBits = core.MaxBitsForWindow(p.WindowTuples)
+	}
+	nOut := max(nL, nS) // hit rate unknown: assume 1
+	pi := max(len(q.LargerProject), len(q.SmallerProject))
+	p.ModeledMs = m.Millis(costmodel.DSMPostDecluster(m, nOut, max(nL, nS), 4,
+		max(p.LargerBits, 1), max(pi, 1), p.WindowTuples))
+	return p, nil
+}
+
+func planJoinBits(smallerTuples, cacheBytes int) int {
+	return join.PlanBits(smallerTuples, 4, cacheBytes)
+}
+
+func planProjBits(baseN, cacheBytes int) int {
+	return radix.OptimalBits(baseN, 4, cacheBytes)
+}

@@ -1,0 +1,176 @@
+// Package radixdecluster is a from-scratch Go reproduction of
+// "Cache-Conscious Radix-Decluster Projections" (Manegold, Boncz,
+// Nes, Kersten; CWI / VLDB 2004): cache-conscious equi-joins
+// *including the projection columns*, on both decomposed (DSM) and
+// row-wise (NSM) storage.
+//
+// The paper's headline result — reproduced by this library — is that
+// for large joins the best strategy is DSM post-projection: first
+// compute a join-index of matching [oid,oid] pairs with a Partitioned
+// Hash-Join over radix-clustered inputs, then fetch the larger
+// relation's projection columns through a partially Radix-Clustered
+// join-index (cache-sized access regions), and fetch the smaller
+// relation's columns in clustered order followed by Radix-Decluster —
+// a single-pass, insertion-window-bounded merge-scatter that restores
+// result order while keeping all random access inside the CPU cache.
+//
+// Entry points:
+//
+//   - ProjectJoin runs the paper's project-join query end to end with
+//     a chosen (or planner-selected) strategy.
+//   - Decluster, ClusterOIDs, SortOIDs and Fetch expose the core
+//     column operators.
+//   - DeclusterStrings runs the Section-5 variable-size variant into
+//     slotted buffer pages.
+//   - Pentium4 and Calibrate manage the memory-hierarchy description
+//     that drives all planning.
+//
+// All algorithms are single-threaded by design (matching the paper);
+// values are 4-byte integers and oids are dense uint32 record
+// numbers, the paper's data model.
+package radixdecluster
+
+import (
+	"fmt"
+
+	"radixdecluster/internal/bat"
+	"radixdecluster/internal/calibrator"
+	"radixdecluster/internal/mem"
+)
+
+// OID is a dense object identifier: record number in [0,N).
+type OID = uint32
+
+// CacheLevel describes one level of the memory hierarchy.
+type CacheLevel struct {
+	Name string
+	// SizeBytes is the capacity (for a TLB: entries × page size).
+	SizeBytes int
+	// LineBytes is the transfer unit (for a TLB: the page size).
+	LineBytes int
+	// Assoc is the set-associativity (0 = fully associative).
+	Assoc int
+	// MissNanos is the random-miss latency; SeqNanos the effective
+	// per-line cost under sequential (prefetched) access.
+	MissNanos, SeqNanos float64
+	// TLB marks address-translation levels.
+	TLB bool
+}
+
+// Hierarchy is an ordered memory-hierarchy description, innermost
+// level first. The zero value means "use Pentium4()".
+type Hierarchy struct {
+	Levels []CacheLevel
+}
+
+// Pentium4 returns the paper's evaluation platform (§4): 16KB L1,
+// 512KB L2, 64-entry TLB, 2.2GHz.
+func Pentium4() Hierarchy {
+	return fromInternal(mem.Pentium4())
+}
+
+// Calibrate recovers the hierarchy parameters by running the
+// Calibrator's footprint/stride sweeps against a simulation of spec,
+// returning the recovered hierarchy — the §1.1 bootstrap path for
+// machines without documented cache parameters.
+func Calibrate(spec Hierarchy) (Hierarchy, error) {
+	res, err := calibrator.Calibrate(spec.internal())
+	if err != nil {
+		return Hierarchy{}, err
+	}
+	page := 4096
+	if tlb, ok := spec.internal().TLB(); ok {
+		page = tlb.LineSize
+	}
+	return fromInternal(res.Hierarchy(page)), nil
+}
+
+func fromInternal(h mem.Hierarchy) Hierarchy {
+	out := Hierarchy{}
+	for _, l := range h.Levels {
+		out.Levels = append(out.Levels, CacheLevel{
+			Name: l.Name, SizeBytes: l.Size, LineBytes: l.LineSize, Assoc: l.Assoc,
+			MissNanos: l.MissLatency, SeqNanos: l.SeqLatency, TLB: l.IsTLB,
+		})
+	}
+	return out
+}
+
+func (h Hierarchy) internal() mem.Hierarchy {
+	if len(h.Levels) == 0 {
+		return mem.Pentium4()
+	}
+	out := mem.Hierarchy{ClockGHz: 1}
+	for _, l := range h.Levels {
+		out.Levels = append(out.Levels, mem.Level{
+			Name: l.Name, Size: l.SizeBytes, LineSize: l.LineBytes, Assoc: l.Assoc,
+			MissLatency: l.MissNanos, SeqLatency: l.SeqNanos, IsTLB: l.TLB,
+		})
+	}
+	return out
+}
+
+// Validate reports structural problems with the hierarchy.
+func (h Hierarchy) Validate() error { return h.internal().Validate() }
+
+// Column is a named column of 4-byte integer values — the tail of a
+// MonetDB [void,value] BAT.
+type Column struct {
+	Name   string
+	Values []int32
+}
+
+// Relation is a DSM relation: equally long named columns.
+type Relation struct {
+	Name string
+	tab  *bat.Table
+}
+
+// NewRelation builds a relation from columns (not copied).
+func NewRelation(name string, cols ...Column) (*Relation, error) {
+	bcols := make([]*bat.Column, len(cols))
+	for i, c := range cols {
+		bcols[i] = bat.NewColumn(c.Name, c.Values)
+	}
+	t, err := bat.NewTable(name, bcols...)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{Name: name, tab: t}, nil
+}
+
+// Len returns the cardinality.
+func (r *Relation) Len() int { return r.tab.Len() }
+
+// Width returns the number of columns (the paper's ω).
+func (r *Relation) Width() int { return r.tab.Width() }
+
+// Column returns the named column's values (a view, not a copy).
+func (r *Relation) Column(name string) ([]int32, error) {
+	c, err := r.tab.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	return c.Values, nil
+}
+
+// ColumnNames lists the column names in declaration order.
+func (r *Relation) ColumnNames() []string {
+	out := make([]string, r.tab.Width())
+	for i := range out {
+		out[i] = r.tab.ColumnAt(i).Name
+	}
+	return out
+}
+
+func (r *Relation) columns(names []string) ([][]int32, error) {
+	out := make([][]int32, len(names))
+	for i, n := range names {
+		c, err := r.Column(n)
+		if err != nil {
+			return nil, fmt.Errorf("relation %q: %w", r.Name, err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
