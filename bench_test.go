@@ -1,6 +1,7 @@
 package radixdecluster
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"testing"
 
@@ -225,6 +226,61 @@ func BenchmarkPosJoinClustered(b *testing.B) {
 		if _, err := posjoin.Clustered(col, cl.Key, cl.Borders()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchJoinQuery builds an n-tuple key/FK pair with one payload
+// column per side for the end-to-end ProjectJoin benchmarks.
+func benchJoinQuery(b *testing.B, n int) JoinQuery {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(4, 4))
+	keys := make([]int32, n)
+	for i := range keys {
+		keys[i] = int32(i)
+	}
+	rng.Shuffle(n, func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	payload := make([]int32, n)
+	for i := range payload {
+		payload[i] = int32(i)
+	}
+	mk := func(name string) *Relation {
+		k := make([]int32, n)
+		copy(k, keys)
+		r, err := NewRelation(name, Column{Name: "key", Values: k}, Column{Name: "a", Values: payload})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r
+	}
+	larger, smaller := mk("l"), mk("s")
+	return JoinQuery{
+		Larger: larger, Smaller: smaller,
+		LargerKey: "key", SmallerKey: "key",
+		LargerProject: []string{"a"}, SmallerProject: []string{"a"},
+		Strategy: DSMPostDecluster,
+	}
+}
+
+// BenchmarkProjectJoinParallel sweeps the morsel-driven executor's
+// worker count on a 1M-tuple join (workers=0 is the serial paper-mode
+// baseline), so the perf trajectory captures parallel speedup. On a
+// multi-core machine, 4 workers should beat serial by well over 1.5x;
+// on a single-core machine the sweep degenerates to overhead
+// measurement.
+func BenchmarkProjectJoinParallel(b *testing.B) {
+	const n = 1 << 20
+	q := benchJoinQuery(b, n)
+	for _, w := range []int{0, 1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			q.Parallelism = w
+			b.SetBytes(n * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ProjectJoin(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -27,6 +27,7 @@ func main() {
 	strat := flag.String("strategy", "dsm-post", "dsm-post | dsm-pre | nsm-pre-hash | nsm-pre-phash | nsm-post-decluster | nsm-post-jive")
 	lm := flag.String("lm", "", "larger-side method for dsm-post: u, s or c (empty = auto)")
 	sm := flag.String("sm", "", "smaller-side method for dsm-post: u or d (empty = auto)")
+	parallel := flag.Int("parallel", 0, "workers for the morsel-driven executor (dsm-post strategy): 0 = serial paper mode, -1 = planner decides")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	flag.Parse()
 
@@ -38,7 +39,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	cfg := strategy.Config{Hier: mem.Pentium4()}
+	cfg := strategy.Config{Hier: mem.Pentium4(), Parallelism: *parallel}
 	fmt.Printf("N=%d pi=%d h=%g sel=%g -> expecting %d result tuples\n",
 		*n, *pi, *hitRate, *sel, pr.ExpectedMatches)
 
@@ -82,8 +83,8 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("strategy=%s result=%d tuples in %v\n", *strat, res.N, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("plan: joinbits=%d largerbits=%d smallerbits=%d window=%d methods=%v/%v\n",
-		res.JoinBits, res.LargerBits, res.SmallerBits, res.Window, res.LargerMethod, res.SmallerMethod)
+	fmt.Printf("plan: joinbits=%d largerbits=%d smallerbits=%d window=%d methods=%v/%v workers=%d\n",
+		res.JoinBits, res.LargerBits, res.SmallerBits, res.Window, res.LargerMethod, res.SmallerMethod, res.Workers)
 	fmt.Printf("phases: %s\n", res.Phases)
 }
 

@@ -26,6 +26,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "workload seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	parallel := flag.Int("parallel", 0, "workers for the morsel-driven executor in the DSM-post-decluster runs: 0 = serial paper mode, -1 = planner decides")
 	flag.Parse()
 
 	if *list {
@@ -34,7 +35,7 @@ func main() {
 		}
 		return
 	}
-	cfg := experiments.Config{Full: *full, Quick: *quick, Seed: *seed}
+	cfg := experiments.Config{Full: *full, Quick: *quick, Seed: *seed, Parallelism: *parallel}
 	runners := experiments.All()
 	if *fig != "" {
 		r, err := experiments.ByID(*fig)

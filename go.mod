@@ -1,0 +1,3 @@
+module radixdecluster
+
+go 1.24

@@ -17,6 +17,8 @@ package cachesim
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"radixdecluster/internal/mem"
 )
@@ -31,10 +33,12 @@ type cache struct {
 	// empty (addresses start at one page, so tag 0 never occurs).
 	sets [][]uint64
 
-	// Event counters.
-	Hits      uint64
-	Misses    uint64
-	SeqMisses uint64 // miss on the line directly after the previous access's
+	// Event counters. Atomic so that concurrent readers (a monitor
+	// polling Counters while the parallel executor drives a traced
+	// run) see consistent values without taking the Sim lock.
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	seqMisses atomic.Uint64 // miss on the line directly after the previous access's
 	lastLine  uint64
 	havePrev  bool
 }
@@ -70,7 +74,7 @@ func (c *cache) access(line uint64) bool {
 			// Move to front (LRU update).
 			copy(set[1:i+1], set[:i])
 			set[0] = line
-			c.Hits++
+			c.hits.Add(1)
 			c.noteLine(line)
 			return true
 		}
@@ -85,9 +89,9 @@ func (c *cache) access(line uint64) bool {
 		set[0] = line
 		c.sets[line&c.setMask] = set
 	}
-	c.Misses++
+	c.misses.Add(1)
 	if c.havePrev && (line == c.lastLine+1 || line == c.lastLine) {
-		c.SeqMisses++
+		c.seqMisses.Add(1)
 	}
 	c.noteLine(line)
 	return false
@@ -98,9 +102,14 @@ func (c *cache) noteLine(line uint64) {
 	c.havePrev = true
 }
 
-// Sim bundles the simulated hierarchy.
+// Sim bundles the simulated hierarchy. It is safe for concurrent use:
+// accesses serialise on an internal lock (the LRU state is inherently
+// sequential), and the event counters are atomic, so replayers driven
+// by the parallel executor (internal/exec) still count every event
+// and Counters can be read while a trace is running.
 type Sim struct {
 	H      mem.Hierarchy
+	mu     sync.Mutex
 	caches []*cache // data caches, innermost first
 	tlb    *cache
 	brk    uint64 // bump allocator
@@ -141,6 +150,8 @@ func (s *Sim) Alloc(name string, bytes int) Region {
 	if bytes < 1 {
 		bytes = 1
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	base := (s.brk + page - 1) &^ uint64(page-1)
 	s.brk = base + uint64(bytes) + page
 	return Region{Name: name, Base: base, Size: bytes}
@@ -157,6 +168,8 @@ func (s *Sim) access(r Region, off, size int) {
 	if off < 0 || size < 1 || off+size > r.Size {
 		panic(fmt.Sprintf("cachesim: access [%d,%d) outside region %s of %d bytes", off, off+size, r.Name, r.Size))
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	addr := r.Base + uint64(off)
 	end := addr + uint64(size)
 	// Walk the distinct cache lines of the innermost level; outer
@@ -192,14 +205,18 @@ type Counts struct {
 func (c Counts) RandMisses() uint64 { return c.Misses - c.SeqMisses }
 
 // Counters returns per-level snapshots, data caches first, then the
-// TLB (named as in the hierarchy).
+// TLB (named as in the hierarchy). It may be called while a trace is
+// running; the counters are read atomically.
 func (s *Sim) Counters() []Counts {
+	snap := func(c *cache) Counts {
+		return Counts{Level: c.level.Name, Hits: c.hits.Load(), Misses: c.misses.Load(), SeqMisses: c.seqMisses.Load()}
+	}
 	var out []Counts
 	for _, c := range s.caches {
-		out = append(out, Counts{Level: c.level.Name, Hits: c.Hits, Misses: c.Misses, SeqMisses: c.SeqMisses})
+		out = append(out, snap(c))
 	}
 	if s.tlb != nil {
-		out = append(out, Counts{Level: s.tlb.level.Name, Hits: s.tlb.Hits, Misses: s.tlb.Misses, SeqMisses: s.tlb.SeqMisses})
+		out = append(out, snap(s.tlb))
 	}
 	return out
 }
@@ -217,12 +234,19 @@ func (s *Sim) MissesOf(name string) uint64 {
 // Reset clears all counters (cache contents survive; call after a
 // warm-up pass to measure steady state).
 func (s *Sim) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	clear := func(c *cache) {
+		c.hits.Store(0)
+		c.misses.Store(0)
+		c.seqMisses.Store(0)
+		c.havePrev = false
+	}
 	for _, c := range s.caches {
-		c.Hits, c.Misses, c.SeqMisses, c.havePrev = 0, 0, 0, false
+		clear(c)
 	}
 	if s.tlb != nil {
-		t := s.tlb
-		t.Hits, t.Misses, t.SeqMisses, t.havePrev = 0, 0, 0, false
+		clear(s.tlb)
 	}
 }
 
@@ -232,8 +256,9 @@ func (s *Sim) Reset() {
 func (s *Sim) ModeledNanos() float64 {
 	total := 0.0
 	add := func(c *cache) {
-		total += float64(c.SeqMisses)*c.level.SeqLatency +
-			float64(c.Misses-c.SeqMisses)*c.level.MissLatency
+		seq, miss := c.seqMisses.Load(), c.misses.Load()
+		total += float64(seq)*c.level.SeqLatency +
+			float64(miss-seq)*c.level.MissLatency
 	}
 	for _, c := range s.caches {
 		add(c)

@@ -1,6 +1,7 @@
 package cachesim
 
 import (
+	"sync"
 	"testing"
 
 	"radixdecluster/internal/mem"
@@ -171,6 +172,35 @@ func TestAccessOutOfRangePanics(t *testing.T) {
 		}
 	}()
 	s.Load(r, 8, 4)
+}
+
+// TestConcurrentAccessCountsEveryEvent drives the simulator from
+// several goroutines — as replayers under the parallel executor do —
+// and checks that no event is lost and mid-run counter reads are safe.
+func TestConcurrentAccessCountsEveryEvent(t *testing.T) {
+	s := newSim(t, mem.Pentium4())
+	const workers, each = 8, 4096
+	regions := make([]Region, workers)
+	for w := range regions {
+		regions[w] = s.Alloc("w", each*4)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(r Region) {
+			defer wg.Done()
+			for off := 0; off < r.Size; off += 4 {
+				s.Load(r, off, 4)
+				s.Counters() // snapshot while others are writing
+			}
+		}(regions[w])
+	}
+	wg.Wait()
+	c := s.Counters()
+	total := c[0].Hits + c[0].Misses
+	if want := uint64(workers * each); total != want {
+		t.Fatalf("L1 events = %d, want %d (accesses lost under concurrency)", total, want)
+	}
 }
 
 func TestNewRejectsBadHierarchy(t *testing.T) {

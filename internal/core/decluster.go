@@ -268,11 +268,20 @@ type Clustered struct {
 // join-index in result order; the result positions are its (virtual)
 // dense head.
 func ClusterForDecluster(smallerOIDs []OID, o radix.Opts) (*Clustered, error) {
+	return ClusterForDeclusterWith(smallerOIDs, o, radix.ClusterOIDPairs)
+}
+
+// ClusterForDeclusterWith is ClusterForDecluster with a caller-chosen
+// clustering engine: the parallel executor passes its
+// Pool.ClusterOIDPairs so the re-clustering runs on the worker pool
+// while the CLUST_* view bookkeeping stays in one place.
+func ClusterForDeclusterWith(smallerOIDs []OID, o radix.Opts,
+	cluster func(key, other []OID, o radix.Opts) (*radix.OIDPairsResult, error)) (*Clustered, error) {
 	pos := make([]OID, len(smallerOIDs))
 	for i := range pos {
 		pos[i] = OID(i)
 	}
-	res, err := radix.ClusterOIDPairs(smallerOIDs, pos, o)
+	res, err := cluster(smallerOIDs, pos, o)
 	if err != nil {
 		return nil, err
 	}

@@ -174,6 +174,50 @@ func DSMPostDecluster(m Model, nJI, baseN, width, bits, pi, windowTuples int) Co
 	return cluster.Add(posL).Add(recluster).Add(posS).Add(decl)
 }
 
+// cpuParallelFork approximates the per-worker coordination cost of
+// the morsel-driven executor (pool fork, morsel-queue traffic, and
+// the partition-order stitch) in nanoseconds.
+const cpuParallelFork = 20_000
+
+// DSMPostDeclusterParallel models the DSM post-projection strategy
+// executed by the morsel-driven executor (internal/exec) with W
+// workers: the tuples split W ways, but every cache level is shared,
+// so each worker runs the serial strategy over a 1/W share of the
+// data with a 1/W capacity share per level and a 1/W insertion
+// window. Elapsed time is the per-worker cost — workers proceed
+// concurrently — plus a fork/stitch term linear in W. The shrinking
+// per-core cache share is what eventually stops parallelism paying
+// off: once a worker's window and partition regions no longer fit its
+// share, random misses return and the model turns against more
+// workers.
+func DSMPostDeclusterParallel(m Model, workers, nJI, baseN, width, bits, pi, windowTuples int) Cost {
+	if workers <= 1 {
+		return DSMPostDecluster(m, nJI, baseN, width, bits, pi, windowTuples)
+	}
+	mw := Model{H: m.H, Share: m.share() / float64(workers)}
+	per := DSMPostDecluster(mw, ceilDiv(nJI, workers), ceilDiv(baseN, workers),
+		width, bits, pi, max(1, windowTuples/workers))
+	return per.Add(Cost{CPU: cpuParallelFork * float64(workers)})
+}
+
+// ChooseParallelism returns the worker count in {1, 2, 4, ...,
+// maxWorkers} with the lowest modeled elapsed time for the DSM
+// post-projection strategy — the planner's serial-vs-parallel
+// decision. It weighs the linear division of work against the
+// shrinking per-core cache capacity modeled by
+// DSMPostDeclusterParallel.
+func ChooseParallelism(m Model, maxWorkers, nJI, baseN, width, bits, pi, windowTuples int) int {
+	best := 1
+	bestNs := m.Nanos(DSMPostDecluster(m, nJI, baseN, width, bits, pi, windowTuples))
+	for w := 2; w <= maxWorkers; w *= 2 {
+		ns := m.Nanos(DSMPostDeclusterParallel(m, w, nJI, baseN, width, bits, pi, windowTuples))
+		if ns < bestNs {
+			best, bestNs = w, ns
+		}
+	}
+	return best
+}
+
 func ceilDiv(a, b int) int {
 	if b <= 0 {
 		return a

@@ -1,0 +1,270 @@
+package exec
+
+// Parallel Radix-Cluster: the fan-out pass counts per partition, then
+// workers scatter disjoint partition ranges.
+//
+// The serial engine (internal/radix) clusters stably: tuples of equal
+// radix value keep their input order. The parallel engine reproduces
+// that arrangement exactly with a chunked count-then-scatter over the
+// most-significant b1 radix bits:
+//
+//  1. The input is cut into contiguous chunks (morsels); each worker
+//     histograms its chunks privately.
+//  2. A serial prefix sum over (cluster, chunk) — clusters outermost,
+//     chunks in input order — turns the histograms into disjoint
+//     insertion cursors: chunk k's slice of cluster c starts where
+//     chunk k-1's ends.
+//  3. Workers scatter their chunks through their private cursors.
+//
+// Within each cluster the tuples appear chunk by chunk, and chunks
+// are contiguous input ranges in order, so every cluster receives its
+// tuples in global input order — exactly the serial stable result,
+// independent of worker count and chunk boundaries.
+//
+// When B exceeds the single-pass fan-out budget, the remaining low
+// bits are clustered per level-1 partition: each partition is an
+// independent morsel refined with the serial engine. Stable-by-high-
+// bits followed by stable-by-low-bits equals stable-by-all-bits, so
+// the two-level result again matches the serial one.
+
+import (
+	"fmt"
+
+	"radixdecluster/internal/bat"
+	"radixdecluster/internal/hash"
+	"radixdecluster/internal/mem"
+	"radixdecluster/internal/radix"
+)
+
+// OID mirrors bat.OID.
+type OID = bat.OID
+
+const (
+	// maxFirstPassBits caps the level-1 fan-out: 2^12 insertion
+	// cursors per chunk keep the per-chunk histogram (16KB of ints)
+	// inside a private cache slice.
+	maxFirstPassBits = 12
+	// maxParallelBits bounds the two-level scheme (12 + 12 bits);
+	// beyond it the serial multi-pass engine takes over.
+	maxParallelBits = 2 * maxFirstPassBits
+	// MinParallelN is the cardinality below which fan-out overhead
+	// exceeds the win and every operator falls back to its serial
+	// counterpart. Exported so callers can stay on the serial path
+	// entirely (and report serial execution) for small inputs.
+	MinParallelN = 1 << 14
+)
+
+// ClusterPairs is the parallel equivalent of radix.ClusterPairs: it
+// radix-clusters an [oid,value] BAT on its value column (hashed when
+// hashVals is set) and produces the identical arrangement and offsets.
+func (p *Pool) ClusterPairs(heads []OID, vals []int32, hashVals bool, o radix.Opts) (*radix.PairsResult, error) {
+	if len(heads) != len(vals) {
+		return nil, fmt.Errorf("radix: ClusterPairs: %d heads vs %d values", len(heads), len(vals))
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(heads)
+	if p.serialPreferred(n, o.Bits) {
+		return radix.ClusterPairs(heads, vals, hashVals, o)
+	}
+	rad := make([]uint32, n)
+	chunks := p.chunksFor(n)
+	p.Run(len(chunks), func(_, t int, _ *Scratch) {
+		r := chunks[t]
+		if hashVals {
+			for i := r.Lo; i < r.Hi; i++ {
+				rad[i] = hash.Int32(vals[i])
+			}
+		} else {
+			for i := r.Lo; i < r.Hi; i++ {
+				rad[i] = uint32(vals[i])
+			}
+		}
+	})
+	outHeads := make([]OID, n)
+	outVals := make([]int32, n)
+	move := func(i, d int) { outHeads[d], outVals[d] = heads[i], vals[i] }
+	var outRad []uint32
+	if o.Bits > maxFirstPassBits {
+		// The radix values scatter alongside the payload so the
+		// level-2 refinement reuses them instead of re-hashing.
+		outRad = make([]uint32, n)
+		move = func(i, d int) { outHeads[d], outVals[d], outRad[d] = heads[i], vals[i], rad[i] }
+	}
+	offsets, err := p.scatter2(rad, chunks, o, move,
+		func(lo, hi int, sub radix.Opts) ([]int, error) {
+			res, err := radix.ClusterPairsPrehashed(outRad[lo:hi], outHeads[lo:hi], outVals[lo:hi], sub)
+			if err != nil {
+				return nil, err
+			}
+			copy(outHeads[lo:hi], res.Heads)
+			copy(outVals[lo:hi], res.Vals)
+			return res.Offsets, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &radix.PairsResult{Heads: outHeads, Vals: outVals, Offsets: offsets}, nil
+}
+
+// ClusterOIDPairs is the parallel equivalent of radix.ClusterOIDPairs:
+// it radix-clusters an [oid,oid] BAT (e.g. a join-index) on the key
+// column and produces the identical arrangement and offsets.
+func (p *Pool) ClusterOIDPairs(key, other []OID, o radix.Opts) (*radix.OIDPairsResult, error) {
+	if len(key) != len(other) {
+		return nil, fmt.Errorf("radix: ClusterOIDPairs: %d keys vs %d others", len(key), len(other))
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(key)
+	if p.serialPreferred(n, o.Bits) {
+		return radix.ClusterOIDPairs(key, other, o)
+	}
+	// Dense oids are their own radix values (§3.1): no hashing pass.
+	outKey := make([]OID, n)
+	outOther := make([]OID, n)
+	offsets, err := p.scatter2(key, p.chunksFor(n), o,
+		func(i, d int) { outKey[d], outOther[d] = key[i], other[i] },
+		func(lo, hi int, sub radix.Opts) ([]int, error) {
+			res, err := radix.ClusterOIDPairs(outKey[lo:hi], outOther[lo:hi], sub)
+			if err != nil {
+				return nil, err
+			}
+			copy(outKey[lo:hi], res.Key)
+			copy(outOther[lo:hi], res.Other)
+			return res.Offsets, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &radix.OIDPairsResult{Key: outKey, Other: outOther, Offsets: offsets}, nil
+}
+
+// SortOIDPairs is the parallel equivalent of radix.SortOIDPairs: a
+// full Radix-Sort of an [oid,oid] BAT on the key column.
+func (p *Pool) SortOIDPairs(key, other []OID, h mem.Hierarchy) (*radix.OIDPairsResult, error) {
+	// Don't route through serialPreferred: the sort's bit width is
+	// only known after the max scan below.
+	if p.workers == 1 || len(key) < MinParallelN {
+		return radix.SortOIDPairs(key, other, h)
+	}
+	chunks := p.chunksFor(len(key))
+	maxs := make([]OID, len(chunks))
+	p.Run(len(chunks), func(_, t int, _ *Scratch) {
+		m := OID(0)
+		for _, k := range key[chunks[t].Lo:chunks[t].Hi] {
+			if k > m {
+				m = k
+			}
+		}
+		maxs[t] = m
+	})
+	maxKey := OID(0)
+	for _, m := range maxs {
+		if m > maxKey {
+			maxKey = m
+		}
+	}
+	bits := mem.Log2Ceil(int(maxKey) + 1)
+	if bits == 0 {
+		bits = 1
+	}
+	if bits > maxParallelBits {
+		return radix.SortOIDPairs(key, other, h)
+	}
+	return p.ClusterOIDPairs(key, other, radix.Opts{Bits: bits})
+}
+
+// serialPreferred reports whether the serial engine should handle this
+// clustering: tiny inputs, degenerate fan-outs, single-worker pools,
+// and bit widths beyond the two-level scheme.
+func (p *Pool) serialPreferred(n, bits int) bool {
+	return p.workers == 1 || n < MinParallelN || bits == 0 || bits > maxParallelBits
+}
+
+// scatter2 runs the two-level parallel clustering given precomputed
+// radix values: a chunked count-then-scatter over the top level-1
+// bits (move copies one tuple from input position i to output
+// position d), then a per-partition serial refinement on the
+// remaining low bits (refine clusters output rows [lo,hi) in place
+// with the serial engine and returns the sub-offsets). It returns the
+// final 2^Bits+1 cluster offsets.
+func (p *Pool) scatter2(rad []uint32, chunks []Range, o radix.Opts,
+	move func(i, d int), refine func(lo, hi int, sub radix.Opts) ([]int, error)) ([]int, error) {
+
+	b1 := o.Bits
+	if b1 > maxFirstPassBits {
+		b1 = maxFirstPassBits
+	}
+	rem := o.Bits - b1
+	sh := uint(o.Ignore + rem)
+	h1 := 1 << b1
+	mask := uint32(h1 - 1)
+	nch := len(chunks)
+	n := 0
+	if nch > 0 {
+		n = chunks[nch-1].Hi
+	}
+
+	// Pass 1: per-chunk histograms (each task owns one row of counts).
+	counts := make([]int, nch*h1)
+	p.Run(nch, func(_, t int, _ *Scratch) {
+		row := counts[t*h1 : (t+1)*h1]
+		for i := chunks[t].Lo; i < chunks[t].Hi; i++ {
+			row[(rad[i]>>sh)&mask]++
+		}
+	})
+
+	// Serial prefix sum, clusters outermost and chunks in input order:
+	// counts becomes the per-(chunk, cluster) insertion cursors, and
+	// off1 the level-1 cluster starts.
+	off1 := make([]int, h1+1)
+	pos := 0
+	for c := 0; c < h1; c++ {
+		off1[c] = pos
+		for k := 0; k < nch; k++ {
+			counts[k*h1+c], pos = pos, pos+counts[k*h1+c]
+		}
+	}
+	off1[h1] = pos
+
+	// Pass 2: scatter. Chunk cursors are disjoint by construction, so
+	// workers write to disjoint output positions.
+	p.Run(nch, func(_, t int, _ *Scratch) {
+		cur := counts[t*h1 : (t+1)*h1]
+		for i := chunks[t].Lo; i < chunks[t].Hi; i++ {
+			c := (rad[i] >> sh) & mask
+			move(i, cur[c])
+			cur[c]++
+		}
+	})
+
+	if rem == 0 {
+		return off1, nil
+	}
+
+	// Level 2: refine each level-1 partition on the remaining low bits.
+	// Partitions are disjoint output ranges — independent morsels.
+	h2 := 1 << rem
+	offsets := make([]int, (h1<<rem)+1)
+	offsets[h1<<rem] = n
+	sub := radix.Opts{Bits: rem, Ignore: o.Ignore, Passes: radix.SplitBits(rem, maxFirstPassBits)}
+	errs := make([]error, h1)
+	p.Run(h1, func(_, c int, _ *Scratch) {
+		lo, hi := off1[c], off1[c+1]
+		subOff, err := refine(lo, hi, sub)
+		if err != nil {
+			errs[c] = err
+			return
+		}
+		for j := 0; j < h2; j++ {
+			offsets[c<<uint(rem)+j] = lo + subOff[j]
+		}
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	return offsets, nil
+}

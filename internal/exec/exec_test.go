@@ -1,0 +1,314 @@
+package exec
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"radixdecluster/internal/bat"
+	"radixdecluster/internal/core"
+	"radixdecluster/internal/join"
+	"radixdecluster/internal/mem"
+	"radixdecluster/internal/posjoin"
+	"radixdecluster/internal/radix"
+)
+
+// testN is large enough to clear MinParallelN so the parallel paths
+// actually run.
+const testN = 1 << 16
+
+var workerCounts = []int{1, 2, 3, 4, 8}
+
+func withPools(t *testing.T, f func(t *testing.T, p *Pool)) {
+	t.Helper()
+	for _, w := range workerCounts {
+		p := New(w)
+		t.Run("", func(t *testing.T) { f(t, p) })
+		p.Close()
+	}
+}
+
+func randOIDs(seed uint64, n, domain int) []OID {
+	rng := rand.New(rand.NewPCG(seed, 7))
+	out := make([]OID, n)
+	for i := range out {
+		out[i] = OID(rng.IntN(domain))
+	}
+	return out
+}
+
+func randVals(seed uint64, n int, skewed bool) []int32 {
+	rng := rand.New(rand.NewPCG(seed, 11))
+	out := make([]int32, n)
+	for i := range out {
+		if skewed && i%4 != 0 {
+			out[i] = int32(rng.IntN(64)) // heavy hitters → skewed partitions
+		} else {
+			out[i] = int32(rng.Uint32() >> 1)
+		}
+	}
+	return out
+}
+
+func TestPoolRunCoversAllTasks(t *testing.T) {
+	withPools(t, func(t *testing.T, p *Pool) {
+		hits := make([]int32, 10_000)
+		p.Run(len(hits), func(_, task int, _ *Scratch) { hits[task]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("task %d executed %d times", i, h)
+			}
+		}
+	})
+}
+
+func TestChunksTile(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, testN} {
+		for _, k := range []int{1, 3, 8, 200} {
+			chunks := Chunks(n, k)
+			pos := 0
+			for _, c := range chunks {
+				if c.Lo != pos || c.Hi < c.Lo {
+					t.Fatalf("Chunks(%d,%d): bad range %+v at pos %d", n, k, c, pos)
+				}
+				pos = c.Hi
+			}
+			if pos != n {
+				t.Fatalf("Chunks(%d,%d): covers %d items", n, k, pos)
+			}
+		}
+	}
+}
+
+// TestClusterPairsMatchesSerial checks byte-identity of the parallel
+// clustering against internal/radix across bit widths (including the
+// two-level B > maxFirstPassBits path), hashing modes and skew.
+func TestClusterPairsMatchesSerial(t *testing.T) {
+	heads := randOIDs(1, testN, testN)
+	for _, skewed := range []bool{false, true} {
+		vals := randVals(2, testN, skewed)
+		for _, o := range []radix.Opts{
+			{Bits: 4},
+			{Bits: 8, Passes: []int{4, 4}},
+			{Bits: 12},
+			{Bits: 14}, // two-level parallel path
+			{Bits: 17, Passes: []int{9, 8}},
+		} {
+			want, err := radix.ClusterPairs(heads, vals, true, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			withPools(t, func(t *testing.T, p *Pool) {
+				got, err := p.ClusterPairs(heads, vals, true, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("workers=%d bits=%d skewed=%v: parallel clustering differs from serial",
+						p.Workers(), o.Bits, skewed)
+				}
+			})
+		}
+	}
+}
+
+func TestClusterOIDPairsMatchesSerial(t *testing.T) {
+	key := randOIDs(3, testN, testN)
+	other := randOIDs(4, testN, testN)
+	for _, o := range []radix.Opts{
+		{Bits: 6, Ignore: 10},
+		{Bits: 10, Ignore: 6},
+		{Bits: 16, Ignore: 0}, // full sort via the two-level path
+	} {
+		want, err := radix.ClusterOIDPairs(key, other, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withPools(t, func(t *testing.T, p *Pool) {
+			got, err := p.ClusterOIDPairs(key, other, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("workers=%d opts=%+v: parallel clustering differs from serial", p.Workers(), o)
+			}
+		})
+	}
+}
+
+func TestSortOIDPairsMatchesSerial(t *testing.T) {
+	key := randOIDs(5, testN, testN)
+	other := randOIDs(6, testN, testN)
+	h := mem.Pentium4()
+	want, err := radix.SortOIDPairs(key, other, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPools(t, func(t *testing.T, p *Pool) {
+		got, err := p.SortOIDPairs(key, other, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: parallel sort differs from serial", p.Workers())
+		}
+	})
+}
+
+func TestPartitionedJoinMatchesSerial(t *testing.T) {
+	for _, skewed := range []bool{false, true} {
+		lo := randOIDs(7, testN, testN)
+		lk := randVals(8, testN, skewed)
+		so := randOIDs(9, testN/2, testN)
+		sk := make([]int32, testN/2)
+		copy(sk, lk[:testN/2]) // guarantee matches
+		for _, o := range []radix.Opts{{Bits: 0}, {Bits: 6}, {Bits: 13}} {
+			want, err := join.Partitioned(lo, lk, so, sk, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			withPools(t, func(t *testing.T, p *Pool) {
+				got, err := p.Partitioned(lo, lk, so, sk, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("workers=%d bits=%d skewed=%v: parallel join-index differs from serial (%d vs %d matches)",
+						p.Workers(), o.Bits, skewed, got.Len(), want.Len())
+				}
+			})
+		}
+	}
+}
+
+func TestFetchManyMatchesSerial(t *testing.T) {
+	oids := randOIDs(10, testN, testN)
+	cols := make([][]int32, 3)
+	for c := range cols {
+		cols[c] = randVals(uint64(11+c), testN, false)
+	}
+	want, err := posjoin.FetchMany(cols, oids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPools(t, func(t *testing.T, p *Pool) {
+		got, err := p.FetchMany(cols, oids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: parallel fetch differs from serial", p.Workers())
+		}
+	})
+	// Out-of-range oids must surface the serial error.
+	bad := make([]OID, testN)
+	copy(bad, oids)
+	bad[testN-1] = OID(testN + 5)
+	withPools(t, func(t *testing.T, p *Pool) {
+		if _, err := p.FetchMany(cols, bad); err == nil {
+			t.Fatalf("workers=%d: missing out-of-range error", p.Workers())
+		}
+	})
+}
+
+func clusteredFixture(t *testing.T, bits int) (*core.Clustered, []int32, []int32) {
+	t.Helper()
+	smaller := randOIDs(12, testN, testN)
+	cl, err := core.ClusterForDecluster(smaller,
+		radix.Opts{Bits: bits, Ignore: radix.IgnoreBits(testN, bits)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := randVals(13, testN, false)
+	clustered, err := posjoin.Clustered(col, cl.SmallerOIDs, cl.Borders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, col, clustered
+}
+
+func TestClusteredMatchesSerial(t *testing.T) {
+	cl, col, want := clusteredFixture(t, 8)
+	withPools(t, func(t *testing.T, p *Pool) {
+		got, err := p.Clustered(col, cl.SmallerOIDs, cl.Borders)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: parallel clustered fetch differs from serial", p.Workers())
+		}
+	})
+}
+
+func TestDeclusterMatchesSerial(t *testing.T) {
+	for _, bits := range []int{2, 8} {
+		cl, _, clustered := clusteredFixture(t, bits)
+		window := core.PlanWindow(mem.Pentium4(), 4)
+		want, err := core.Decluster(clustered, cl.ResultPos, cl.Borders, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withPools(t, func(t *testing.T, p *Pool) {
+			// Identity must hold for any per-worker window size.
+			perWorker := window / p.Workers()
+			if perWorker < 1 {
+				perWorker = 1
+			}
+			got, err := p.Decluster(clustered, cl.ResultPos, cl.Borders, perWorker)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("workers=%d bits=%d: parallel decluster differs from serial", p.Workers(), bits)
+			}
+		})
+	}
+}
+
+func TestDeclusterRejectsBadInput(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	vals := make([]int32, 8)
+	ids := make([]OID, 7)
+	if _, err := p.Decluster(vals, ids, nil, 4); err == nil {
+		t.Fatal("missing length-mismatch error")
+	}
+	ids = make([]OID, 8)
+	if _, err := p.Decluster(vals, ids, []bat.Border{{Start: 0, End: 8}}, 0); err == nil {
+		t.Fatal("missing bad-window error")
+	}
+}
+
+func TestGroupBordersTile(t *testing.T) {
+	borders := bat.BordersFromOffsets([]int{0, 5, 5, 100, 180, 256})
+	for _, k := range []int{1, 2, 7, 100} {
+		groups := groupBorders(borders, k, 256)
+		pos := 0
+		for _, g := range groups {
+			if g.Lo != pos {
+				t.Fatalf("k=%d: group %+v does not continue at %d", k, g, pos)
+			}
+			pos = g.Hi
+		}
+		if pos != len(borders) {
+			t.Fatalf("k=%d: groups cover %d of %d borders", k, pos, len(borders))
+		}
+	}
+}
+
+// TestConcurrentStress drives all operators once per worker count with
+// the race detector in mind (CI runs this package under -race).
+func TestConcurrentStress(t *testing.T) {
+	p := New(8)
+	defer p.Close()
+	heads := randOIDs(20, testN, testN)
+	vals := randVals(21, testN, true)
+	for i := 0; i < 3; i++ {
+		if _, err := p.ClusterPairs(heads, vals, true, radix.Opts{Bits: 14}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Partitioned(heads, vals, heads, vals, radix.Opts{Bits: 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package exec
+
+// Parallel Partitioned Hash-Join: after the parallel Radix-Cluster of
+// both inputs, every partition pair is an independent morsel — its
+// hash table and probe stream fit one cache-sized region (§2.1), and
+// partitions share nothing. Workers claim partitions from the morsel
+// queue (skewed partitions simply occupy a worker longer while the
+// others drain the queue), collect per-partition match lists, and the
+// lists are stitched into the join-index in partition order — the
+// exact order the serial loop in join.Partitioned appends them, so
+// the resulting join-index is byte-identical.
+
+import (
+	"fmt"
+
+	"radixdecluster/internal/join"
+	"radixdecluster/internal/radix"
+)
+
+// Partitioned is the parallel equivalent of join.Partitioned: it
+// radix-clusters both inputs on o.Bits hashed key bits and hash-joins
+// matching partition pairs concurrently, producing the identical
+// join-index.
+func (p *Pool) Partitioned(largerOIDs []OID, largerKeys []int32, smallerOIDs []OID, smallerKeys []int32, o radix.Opts) (*join.Index, error) {
+	if len(largerOIDs) != len(largerKeys) || len(smallerOIDs) != len(smallerKeys) {
+		return nil, fmt.Errorf("join: oid/key column length mismatch")
+	}
+	if p.workers == 1 || len(largerOIDs)+len(smallerOIDs) < MinParallelN {
+		return join.Partitioned(largerOIDs, largerKeys, smallerOIDs, smallerKeys, o)
+	}
+	cl, err := p.ClusterPairs(largerOIDs, largerKeys, true, o)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := p.ClusterPairs(smallerOIDs, smallerKeys, true, o)
+	if err != nil {
+		return nil, err
+	}
+	h := len(cl.Offsets) - 1
+	shift := uint(o.Ignore + o.Bits)
+
+	// Each partition pair is one morsel producing a private match list.
+	parts := make([]join.Index, h)
+	p.Run(h, func(_, pt int, _ *Scratch) {
+		ll, lh := cl.Offsets[pt], cl.Offsets[pt+1]
+		sl, sh := cs.Offsets[pt], cs.Offsets[pt+1]
+		if ll == lh || sl == sh {
+			return
+		}
+		join.ProbePartition(cs.Heads[sl:sh], cs.Vals[sl:sh],
+			cl.Heads[ll:lh], cl.Vals[ll:lh], shift, &parts[pt])
+	})
+
+	// Stitch in partition order: prefix-sum the match counts, then
+	// copy each partition's list into its disjoint output range.
+	offs := make([]int, h+1)
+	for pt := 0; pt < h; pt++ {
+		offs[pt+1] = offs[pt] + parts[pt].Len()
+	}
+	out := &join.Index{
+		Larger:  make([]OID, offs[h]),
+		Smaller: make([]OID, offs[h]),
+	}
+	p.Run(h, func(_, pt int, _ *Scratch) {
+		copy(out.Larger[offs[pt]:offs[pt+1]], parts[pt].Larger)
+		copy(out.Smaller[offs[pt]:offs[pt+1]], parts[pt].Smaller)
+	})
+	return out, nil
+}

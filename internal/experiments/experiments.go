@@ -28,6 +28,7 @@ import (
 	"radixdecluster/internal/join"
 	"radixdecluster/internal/mem"
 	"radixdecluster/internal/radix"
+	"radixdecluster/internal/strategy"
 	"radixdecluster/internal/workload"
 )
 
@@ -47,6 +48,18 @@ type Config struct {
 	Quick bool
 	// Seed for workload generation.
 	Seed uint64
+	// Parallelism runs the DSM post-projection strategy on the
+	// morsel-driven parallel executor (internal/exec): 0 = the
+	// paper's serial mode, n >= 1 = n workers, -1 = the planner
+	// decides. Results are byte-identical either way; only the
+	// measured times change.
+	Parallelism int
+}
+
+// strategyConfig builds the strategy.Config all end-to-end strategy
+// runs share.
+func (c Config) strategyConfig() strategy.Config {
+	return strategy.Config{Hier: c.hier(), Parallelism: c.Parallelism}
 }
 
 func (c Config) hier() mem.Hierarchy {

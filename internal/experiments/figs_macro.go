@@ -75,9 +75,8 @@ var strategyNames = []string{
 // ω=64, h=1:1 in the paper), with sparse DSM post-projection runs
 // (10% and 1% selections) as the paper's error bars.
 func Fig10a(cfg Config) (*Table, error) {
-	h := cfg.hier()
 	n, omega := cfg.scale(250<<10, 500<<10), 65 // key + 64 payload columns
-	scfg := strategy.Config{Hier: h}
+	scfg := cfg.strategyConfig()
 	t := &Table{
 		ID:      "fig10a",
 		Title:   fmt.Sprintf("overall join strategies vs projectivity (N=%d, omega=%d, h=1)", n, omega),
@@ -125,9 +124,8 @@ func sparseDSMPost(n, omega, pi int, sel float64, seed uint64, scfg strategy.Con
 
 // Fig10b compares all strategies across join hit rate h (π=4).
 func Fig10b(cfg Config) (*Table, error) {
-	h := cfg.hier()
 	n, omega, pi := cfg.scale(250<<10, 500<<10), 65, 4
-	scfg := strategy.Config{Hier: h}
+	scfg := cfg.strategyConfig()
 	t := &Table{
 		ID:      "fig10b",
 		Title:   fmt.Sprintf("overall join strategies vs hit rate (N=%d, omega=%d, pi=%d)", n, omega, pi),
@@ -152,7 +150,6 @@ func Fig10b(cfg Config) (*Table, error) {
 // plus the full strategy set at the small cardinalities where NSM
 // relations stay affordable.
 func Fig10c(cfg Config) (*Table, error) {
-	h := cfg.hier()
 	cards := []int{15 << 10, 62 << 10, 250 << 10, 1 << 20}
 	if cfg.Full {
 		cards = append(cards, 4<<20, 16<<20)
@@ -161,7 +158,7 @@ func Fig10c(cfg Config) (*Table, error) {
 		cards = []int{15 << 10, 62 << 10}
 	}
 	const pi = 4
-	scfg := strategy.Config{Hier: h}
+	scfg := cfg.strategyConfig()
 	t := &Table{
 		ID:    "fig10c",
 		Title: fmt.Sprintf("DSM post-projection vs cardinality (pi=%d, h=1)", pi),

@@ -132,10 +132,20 @@ func Partitioned(largerOIDs []OID, largerKeys []int32, smallerOIDs []OID, smalle
 		if ll == lh || sl == sh {
 			continue
 		}
-		t := buildTable(cs.Heads[sl:sh], cs.Vals[sl:sh], uint(o.Ignore+o.Bits))
-		t.probe(cl.Heads[ll:lh], cl.Vals[ll:lh], out)
+		ProbePartition(cs.Heads[sl:sh], cs.Vals[sl:sh],
+			cl.Heads[ll:lh], cl.Vals[ll:lh], uint(o.Ignore+o.Bits), out)
 	}
 	return out, nil
+}
+
+// ProbePartition builds a hash table on one partition of the smaller
+// relation and probes it with the matching larger partition, appending
+// matches to out in probe order. It is the per-partition unit of work
+// that the parallel executor (internal/exec) schedules as a morsel;
+// shift discards the hash bits already consumed by the radix
+// partitioning (see table).
+func ProbePartition(smallerOIDs []OID, smallerKeys []int32, largerOIDs []OID, largerKeys []int32, shift uint, out *Index) {
+	buildTable(smallerOIDs, smallerKeys, shift).probe(largerOIDs, largerKeys, out)
 }
 
 // PartitionedPreclustered runs only the per-partition hash joins over

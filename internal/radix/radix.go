@@ -135,11 +135,7 @@ func ClusterPairs(heads []OID, vals []int32, hashVals bool, o Opts) (*PairsResul
 	if len(heads) != len(vals) {
 		return nil, fmt.Errorf("radix: ClusterPairs: %d heads vs %d values", len(heads), len(vals))
 	}
-	if err := o.Validate(); err != nil {
-		return nil, err
-	}
-	n := len(heads)
-	rad := make([]uint32, n)
+	rad := make([]uint32, len(vals))
 	if hashVals {
 		for i, v := range vals {
 			rad[i] = hash.Int32(v)
@@ -149,20 +145,31 @@ func ClusterPairs(heads []OID, vals []int32, hashVals bool, o Opts) (*PairsResul
 			rad[i] = uint32(v)
 		}
 	}
-	a := make([]uint32, n)
-	for i, h := range heads {
-		a[i] = h
+	return ClusterPairsPrehashed(rad, heads, vals, o)
+}
+
+// ClusterPairsPrehashed is ClusterPairs with caller-precomputed radix
+// values: rad[i] is the clustering value of pair i (a hash, or the
+// value's own bits). The parallel executor's two-level scheme uses it
+// so the refinement pass reuses the hashes computed for the fan-out
+// pass instead of re-hashing every tuple. rad is consumed as scratch.
+func ClusterPairsPrehashed(rad []uint32, heads []OID, vals []int32, o Opts) (*PairsResult, error) {
+	if len(heads) != len(vals) || len(rad) != len(heads) {
+		return nil, fmt.Errorf("radix: ClusterPairsPrehashed: %d rad vs %d heads vs %d values", len(rad), len(heads), len(vals))
 	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(heads)
+	a := make([]uint32, n)
+	copy(a, heads)
 	b := make([]uint32, n)
 	for i, v := range vals {
 		b[i] = uint32(v)
 	}
-	rad, a, b, offsets := cluster2(rad, a, b, o)
-	_ = rad
+	_, a, b, offsets := cluster2(rad, a, b, o)
 	outHeads := make([]OID, n)
-	for i, v := range a {
-		outHeads[i] = v
-	}
+	copy(outHeads, a)
 	outVals := make([]int32, n)
 	for i, v := range b {
 		outVals[i] = int32(v)

@@ -1,0 +1,165 @@
+package strategy
+
+// Parallel DSM post-projection on the morsel-driven executor
+// (internal/exec). dsmPostParallel mirrors DSMPost phase for phase —
+// the planner decisions (radix bits, window, method resolution) are
+// identical, and every parallel operator is constructed to reproduce
+// its serial counterpart's output exactly, so a parallel run returns
+// byte-identical result columns. Only the wall-clock differs: the
+// join's partitions and the post-projection's cache-sized cluster
+// regions execute concurrently, with each worker's insertion window
+// shrunk to its share of the cache budget (the hierarchy — possibly
+// recovered by internal/calibrator — divided by the worker count).
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"radixdecluster/internal/core"
+	"radixdecluster/internal/costmodel"
+	"radixdecluster/internal/exec"
+	"radixdecluster/internal/mem"
+	"radixdecluster/internal/radix"
+)
+
+// PlanParallelism runs the cost model's serial-vs-parallel decision
+// for a DSM post-projection of the given shape: the modeled elapsed
+// time of costmodel.DSMPostDeclusterParallel across worker counts,
+// capped at runtime.GOMAXPROCS(0). It returns the winning worker
+// count (1 = stay serial).
+func PlanParallelism(nJI, baseN, pi int, cfg Config) int {
+	h := cfg.hier()
+	c := h.LLC().Size
+	bits := cfg.LargerBits
+	if bits == 0 {
+		bits = radix.OptimalBits(baseN, 4, c)
+	}
+	window := cfg.Window
+	if window == 0 {
+		window = core.PlanWindow(h, 4)
+	}
+	m := costmodel.Model{H: h}
+	return costmodel.ChooseParallelism(m, runtime.GOMAXPROCS(0),
+		nJI, baseN, 4, max(1, bits), max(1, pi), window)
+}
+
+// dsmPostParallel is DSMPost on the parallel executor with the given
+// worker count.
+func dsmPostParallel(larger, smaller DSMSide, lm, sm ProjMethod, cfg Config, workers int) (*Result, error) {
+	h := cfg.hier()
+	c := h.LLC().Size
+	pool := exec.New(workers)
+	defer pool.Close()
+	res := &Result{Workers: pool.Workers()}
+	start := time.Now()
+
+	// Phase 1: join-index via the parallel Partitioned Hash-Join —
+	// partitions are morsels, match lists stitch in partition order.
+	jo := joinOpts(cfg, len(smaller.OIDs), 4)
+	res.JoinBits = jo.Bits
+	t := time.Now()
+	ji, err := pool.Partitioned(larger.OIDs, larger.Keys, smaller.OIDs, smaller.Keys, jo)
+	if err != nil {
+		return nil, err
+	}
+	res.Phases.Join = time.Since(t)
+	res.N = ji.Len()
+
+	// Phase 2: larger-side projections, reordering exactly as the
+	// serial planner would.
+	lm = resolveLarger(lm, len(larger.Cols), larger.BaseN, c)
+	res.LargerMethod = lm
+	largerOIDs := ji.Larger
+	smallerInResultOrder := ji.Smaller
+	switch lm {
+	case Unsorted:
+		// Result order = join output order.
+	case SortedM:
+		t = time.Now()
+		srt, err := pool.SortOIDPairs(ji.Larger, ji.Smaller, h)
+		if err != nil {
+			return nil, err
+		}
+		res.Phases.ReorderJI = time.Since(t)
+		largerOIDs, smallerInResultOrder = srt.Key, srt.Other
+	case PartialCluster:
+		po := projOpts(cfg.LargerBits, larger.BaseN, 4, c)
+		res.LargerBits = po.Bits
+		t = time.Now()
+		cl, err := pool.ClusterOIDPairs(ji.Larger, ji.Smaller, po)
+		if err != nil {
+			return nil, err
+		}
+		res.Phases.ReorderJI = time.Since(t)
+		largerOIDs, smallerInResultOrder = cl.Key, cl.Other
+	default:
+		return nil, fmt.Errorf("strategy: larger-side method %q (want u, s or c)", lm)
+	}
+	t = time.Now()
+	res.LargerCols, err = pool.FetchMany(larger.Cols, largerOIDs)
+	if err != nil {
+		return nil, err
+	}
+	res.Phases.ProjectLarger = time.Since(t)
+
+	// Phase 3: smaller-side projections, partition-wise.
+	sm = resolveSmaller(sm, len(smaller.Cols), smaller.BaseN, c)
+	res.SmallerMethod = sm
+	switch sm {
+	case Unsorted:
+		t = time.Now()
+		res.SmallerCols, err = pool.FetchMany(smaller.Cols, smallerInResultOrder)
+		if err != nil {
+			return nil, err
+		}
+		res.Phases.ProjectSmaller = time.Since(t)
+	case Declustered:
+		// Window planning matches the serial path (so the reported
+		// plan and the chosen bits are identical); the executor then
+		// divides the window between the active workers so the
+		// concurrently live window regions still fit the cache.
+		window := cfg.Window
+		if window == 0 {
+			window = core.PlanWindow(h, 4)
+		}
+		res.Window = window
+		po := projOpts(cfg.SmallerBits, smaller.BaseN, 4, c)
+		if maxB := core.MaxBitsForWindow(window); po.Bits > maxB {
+			po = radix.Opts{Bits: maxB, Ignore: mem.Log2Ceil(smaller.BaseN) - maxB}
+			if po.Ignore < 0 {
+				po.Ignore = 0
+			}
+		}
+		res.SmallerBits = po.Bits
+		perWorkerWindow := window / pool.Workers()
+		if perWorkerWindow < 1 {
+			perWorkerWindow = 1
+		}
+		t = time.Now()
+		cl, err := core.ClusterForDeclusterWith(smallerInResultOrder, po, pool.ClusterOIDPairs)
+		if err != nil {
+			return nil, err
+		}
+		res.Phases.ReorderJI += time.Since(t)
+		res.SmallerCols = make([][]int32, len(smaller.Cols))
+		for k, col := range smaller.Cols {
+			t = time.Now()
+			cv, err := pool.Clustered(col, cl.SmallerOIDs, cl.Borders)
+			if err != nil {
+				return nil, err
+			}
+			res.Phases.ProjectSmaller += time.Since(t)
+			t = time.Now()
+			res.SmallerCols[k], err = pool.Decluster(cv, cl.ResultPos, cl.Borders, perWorkerWindow)
+			if err != nil {
+				return nil, err
+			}
+			res.Phases.Decluster += time.Since(t)
+		}
+	default:
+		return nil, fmt.Errorf("strategy: smaller-side method %q (want u or d)", sm)
+	}
+	res.Phases.Total = time.Since(start)
+	return res, nil
+}

@@ -28,6 +28,7 @@ import (
 
 	"radixdecluster/internal/bat"
 	"radixdecluster/internal/core"
+	"radixdecluster/internal/exec"
 	"radixdecluster/internal/join"
 	"radixdecluster/internal/mem"
 	"radixdecluster/internal/posjoin"
@@ -63,6 +64,10 @@ func (m ProjMethod) String() string {
 	return string(rune(m))
 }
 
+// AutoParallelism asks the planner to pick the worker count from the
+// cost model (costmodel.ChooseParallelism) and runtime.GOMAXPROCS.
+const AutoParallelism = -1
+
 // Config carries the hierarchy and optional planner overrides
 // (zero values mean "let the planner decide").
 type Config struct {
@@ -75,6 +80,30 @@ type Config struct {
 	SmallerBits int
 	// Window overrides the Radix-Decluster insertion window (tuples).
 	Window int
+	// Parallelism selects the execution engine for DSMPost: 0 = the
+	// paper's serial single-threaded mode (default), n >= 1 =
+	// morsel-driven parallel execution (internal/exec) with n
+	// workers, AutoParallelism = the planner decides. Parallel runs
+	// produce output byte-identical to serial runs. The other
+	// strategies (DSMPre and the NSM plans) currently ignore the
+	// setting.
+	Parallelism int
+}
+
+// execWorkers resolves Parallelism into a worker count for the
+// parallel executor; 0 means "stay on the serial path".
+func (c Config) execWorkers(nJI, baseN, pi int) int {
+	switch {
+	case c.Parallelism >= 1:
+		return c.Parallelism
+	case c.Parallelism == AutoParallelism:
+		if w := PlanParallelism(nJI, baseN, pi, c); w > 1 {
+			return w
+		}
+		return 0
+	default:
+		return 0
+	}
 }
 
 func (c Config) hier() mem.Hierarchy {
@@ -130,6 +159,9 @@ type Result struct {
 	LargerBits    int
 	SmallerBits   int
 	Window        int
+	// Workers records the executor used: 0 = serial paper mode,
+	// n >= 1 = the morsel-driven parallel executor with n workers.
+	Workers int
 }
 
 // DSMSide describes one join side for the DSM strategies: the
@@ -224,6 +256,18 @@ func DSMPost(larger, smaller DSMSide, lm, sm ProjMethod, cfg Config) (*Result, e
 	}
 	if err := smaller.validate("smaller"); err != nil {
 		return nil, err
+	}
+	// The auto decision uses the same shape estimates as PlanJoin
+	// (radixdecluster.PlanJoin): result cardinality ≈ the larger
+	// input, π = the wider projection list. Below the executor's
+	// serial-fallback threshold every operator would run serially
+	// anyway, so stay on the serial path (and report Workers = 0)
+	// rather than spin up an idle pool.
+	if w := cfg.execWorkers(max(len(larger.OIDs), len(smaller.OIDs)),
+		max(larger.BaseN, smaller.BaseN),
+		max(len(larger.Cols), len(smaller.Cols))); w > 0 &&
+		len(larger.OIDs)+len(smaller.OIDs) >= exec.MinParallelN {
+		return dsmPostParallel(larger, smaller, lm, sm, cfg, w)
 	}
 	h := cfg.hier()
 	c := h.LLC().Size

@@ -94,9 +94,24 @@ type JoinQuery struct {
 	// post-projection.
 	Strategy                    Strategy
 	LargerMethod, SmallerMethod ProjMethod
+	// Parallelism selects the execution engine: 0 (the default) is
+	// the paper's serial single-threaded mode; n >= 1 runs the DSM
+	// post-projection strategy on the morsel-driven parallel executor
+	// (internal/exec) with n workers; AutoParallelism lets the
+	// planner pick a worker count from the cost model and
+	// runtime.GOMAXPROCS. Parallel runs return results byte-identical
+	// to serial runs. The other strategies (DSM pre-projection and
+	// all NSM plans) currently ignore the setting and always run
+	// serially.
+	Parallelism int
 	// Hier drives all planning (zero value: the paper's Pentium 4).
 	Hier Hierarchy
 }
+
+// AutoParallelism (as JoinQuery.Parallelism) asks the planner to
+// choose between the serial paper mode and the parallel executor
+// using the cost model's per-core cache-capacity tradeoff.
+const AutoParallelism = strategy.AutoParallelism
 
 // Timing is the per-phase wall-clock breakdown of a run.
 type Timing struct {
@@ -145,7 +160,7 @@ func ProjectJoin(q JoinQuery) (*Result, error) {
 	if q.Larger == nil || q.Smaller == nil {
 		return nil, fmt.Errorf("radixdecluster: both relations are required")
 	}
-	cfg := strategy.Config{Hier: q.Hier.internal()}
+	cfg := strategy.Config{Hier: q.Hier.internal(), Parallelism: q.Parallelism}
 	st := q.Strategy
 	if st == AutoStrategy {
 		st = DSMPostDecluster
@@ -261,9 +276,9 @@ func buildResult(q JoinQuery, res *strategy.Result) (*Result, error) {
 			ProjectLarger: res.Phases.ProjectLarger, ProjectSmaller: res.Phases.ProjectSmaller,
 			Decluster: res.Phases.Decluster, Total: res.Phases.Total,
 		},
-		Plan: fmt.Sprintf("joinbits=%d largerbits=%d smallerbits=%d window=%d methods=%c/%c",
+		Plan: fmt.Sprintf("joinbits=%d largerbits=%d smallerbits=%d window=%d methods=%c/%c workers=%d",
 			res.JoinBits, res.LargerBits, res.SmallerBits, res.Window,
-			printable(byte(res.LargerMethod)), printable(byte(res.SmallerMethod))),
+			printable(byte(res.LargerMethod)), printable(byte(res.SmallerMethod)), res.Workers),
 		runInfo: res,
 	}
 	for _, n := range q.LargerProject {
@@ -311,6 +326,11 @@ type Plan struct {
 	// ModeledMs is the Appendix-A estimate for the DSM post-projection
 	// strategy.
 	ModeledMs float64
+	// Parallelism is the worker count the planner would choose for
+	// this query on this machine (1 = stay serial): the modeled
+	// minimum of costmodel.DSMPostDeclusterParallel over worker
+	// counts up to runtime.GOMAXPROCS.
+	Parallelism int
 	// ScalabilityLimit is the largest relation Radix-Decluster handles
 	// efficiently on this hierarchy (§6: C²/(32·width²)).
 	ScalabilityLimit int
@@ -340,6 +360,8 @@ func PlanJoin(q JoinQuery) (*Plan, error) {
 	pi := max(len(q.LargerProject), len(q.SmallerProject))
 	p.ModeledMs = m.Millis(costmodel.DSMPostDecluster(m, nOut, max(nL, nS), 4,
 		max(p.LargerBits, 1), max(pi, 1), p.WindowTuples))
+	p.Parallelism = strategy.PlanParallelism(nOut, max(nL, nS), pi,
+		strategy.Config{Hier: h})
 	return p, nil
 }
 

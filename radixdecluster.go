@@ -25,8 +25,32 @@
 //   - Pentium4 and Calibrate manage the memory-hierarchy description
 //     that drives all planning.
 //
-// All algorithms are single-threaded by design (matching the paper);
-// values are 4-byte integers and oids are dense uint32 record
+// # Parallel execution
+//
+// By default every algorithm runs single-threaded, matching the
+// paper. Setting JoinQuery.Parallelism switches the DSM
+// post-projection strategy — the paper's winner — to a morsel-driven
+// parallel executor (internal/exec): a fixed worker
+// pool pulls radix partitions and cache-sized cluster regions from a
+// shared queue, exploiting that the paper's decomposition makes them
+// independent units of work — each partition of the Partitioned
+// Hash-Join and each fetch/decluster region of the post-projection
+// confines its random access to a private cache-sized slice. The
+// parallel operators reproduce the serial arrangement exactly, so a
+// parallel run returns results byte-identical to the serial one; each
+// worker's Radix-Decluster insertion window is the cache budget
+// divided by the worker count, keeping the concurrently live windows
+// inside the last-level cache.
+//
+// The planner chooses between serial and parallel plans when
+// Parallelism is AutoParallelism: the cost model extends Appendix A
+// with a per-core cache-capacity term
+// (costmodel.DSMPostDeclusterParallel) — adding workers divides the
+// work but also each worker's cache share, and the modeled optimum
+// (capped at runtime.GOMAXPROCS) wins. PlanJoin reports that
+// recommendation as Plan.Parallelism without executing anything.
+//
+// Values are 4-byte integers and oids are dense uint32 record
 // numbers, the paper's data model.
 package radixdecluster
 
