@@ -3,7 +3,10 @@ package radixdecluster
 import (
 	"fmt"
 	"math/rand/v2"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"radixdecluster/internal/core"
 	"radixdecluster/internal/experiments"
@@ -230,9 +233,10 @@ func BenchmarkPosJoinClustered(b *testing.B) {
 }
 
 // benchJoinQuery builds an n-tuple key/FK pair with one payload
-// column per side for the end-to-end ProjectJoin benchmarks.
-func benchJoinQuery(b *testing.B, n int) JoinQuery {
-	b.Helper()
+// column per side for the end-to-end ProjectJoin benchmarks and the
+// speedup test.
+func benchJoinQuery(tb testing.TB, n int) JoinQuery {
+	tb.Helper()
 	rng := rand.New(rand.NewPCG(4, 4))
 	keys := make([]int32, n)
 	for i := range keys {
@@ -248,7 +252,7 @@ func benchJoinQuery(b *testing.B, n int) JoinQuery {
 		copy(k, keys)
 		r, err := NewRelation(name, Column{Name: "key", Values: k}, Column{Name: "a", Values: payload})
 		if err != nil {
-			b.Fatal(err)
+			tb.Fatal(err)
 		}
 		return r
 	}
@@ -263,10 +267,11 @@ func benchJoinQuery(b *testing.B, n int) JoinQuery {
 
 // BenchmarkProjectJoinParallel sweeps the morsel-driven executor's
 // worker count on a 1M-tuple join (workers=0 is the serial paper-mode
-// baseline), so the perf trajectory captures parallel speedup. On a
-// multi-core machine, 4 workers should beat serial by well over 1.5x;
-// on a single-core machine the sweep degenerates to overhead
-// measurement.
+// baseline), so the perf trajectory captures parallel speedup. Each
+// sub-benchmark reports gomaxprocs/cpus so result archives carry the
+// machine shape: on a single-core box the sweep degenerates to
+// overhead measurement and multi-worker numbers must not be read as
+// speedup (see TestParallelSpeedupMultiCore).
 func BenchmarkProjectJoinParallel(b *testing.B) {
 	const n = 1 << 20
 	q := benchJoinQuery(b, n)
@@ -274,6 +279,8 @@ func BenchmarkProjectJoinParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			q.Parallelism = w
 			b.SetBytes(n * 8)
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			b.ReportMetric(float64(runtime.NumCPU()), "cpus")
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := ProjectJoin(q); err != nil {
@@ -281,6 +288,57 @@ func BenchmarkProjectJoinParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// TestParallelSpeedupMultiCore is the multi-worker speedup check that
+// PR 1's benchmark note asked to gate on core count: it compares the
+// serial paper mode against the 4-worker executor on a 1M-tuple join
+// and is skipped outright when the machine cannot parallelise
+// (GOMAXPROCS or NumCPU == 1), where the comparison would only
+// measure scheduling overhead.
+func TestParallelSpeedupMultiCore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup measurement needs a full-size join")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation distorts serial-vs-parallel timing")
+	}
+	cores := min(runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	if cores <= 1 {
+		t.Skipf("single-core box (NumCPU=%d GOMAXPROCS=%d): skipping multi-worker speedup comparison",
+			runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	}
+	const n = 1 << 20
+	q := benchJoinQuery(t, n)
+	measure := func(workers int) time.Duration {
+		q.Parallelism = workers
+		best := time.Duration(0)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			if _, err := ProjectJoin(q); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	serial := measure(0)
+	parallel := measure(4)
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("cpus=%d gomaxprocs=%d serial=%v parallel(4)=%v speedup=%.2fx",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0), serial, parallel, speedup)
+	// Wall-clock assertions are opt-in (RADIX_ASSERT_SPEEDUP=1): even
+	// on a quiet >= 4-core box, `go test ./...` runs package binaries
+	// concurrently, so an unconditional threshold would flake. The
+	// measurement itself is always logged above.
+	if os.Getenv("RADIX_ASSERT_SPEEDUP") == "" || cores < 4 {
+		return
+	}
+	if speedup < 1.2 {
+		t.Errorf("4-worker speedup %.2fx below 1.2x on a %d-core machine", speedup, cores)
 	}
 }
 

@@ -27,7 +27,7 @@ func main() {
 	strat := flag.String("strategy", "dsm-post", "dsm-post | dsm-pre | nsm-pre-hash | nsm-pre-phash | nsm-post-decluster | nsm-post-jive")
 	lm := flag.String("lm", "", "larger-side method for dsm-post: u, s or c (empty = auto)")
 	sm := flag.String("sm", "", "smaller-side method for dsm-post: u or d (empty = auto)")
-	parallel := flag.Int("parallel", 0, "workers for the morsel-driven executor (dsm-post strategy): 0 = serial paper mode, -1 = planner decides")
+	parallel := flag.Int("parallel", 0, "workers for the morsel-driven executor (all strategies): 0 = serial paper mode, -1 = planner decides per strategy")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	flag.Parse()
 

@@ -26,7 +26,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "workload seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	parallel := flag.Int("parallel", 0, "workers for the morsel-driven executor in the DSM-post-decluster runs: 0 = serial paper mode, -1 = planner decides")
+	parallel := flag.Int("parallel", 0, "workers for the morsel-driven executor in every strategy run: 0 = serial paper mode, -1 = planner decides per strategy")
 	flag.Parse()
 
 	if *list {

@@ -2,6 +2,9 @@ package costmodel
 
 import (
 	"math"
+
+	"radixdecluster/internal/mem"
+	"radixdecluster/internal/radix"
 )
 
 // This file composes the basic patterns into the per-algorithm cost
@@ -174,48 +177,177 @@ func DSMPostDecluster(m Model, nJI, baseN, width, bits, pi, windowTuples int) Co
 	return cluster.Add(posL).Add(recluster).Add(posS).Add(decl)
 }
 
+// PreProjectionRows models the pre-projection strategies (DSM-pre-
+// phash and the NSM-pre variants): wide-tuple stitching scans, then a
+// partitioned (bits > 0) or naive (bits = 0) hash-join through which
+// the whole [key|π] records travel — the "extra luggage" whose width
+// inflation the paper charges against pre-projection (§4.2).
+func PreProjectionRows(m Model, nL, nS, lwBytes, swBytes, bits, nOut int) Cost {
+	scan := m.STrav(Region{N: nL, Width: lwBytes}).
+		Add(m.STrav(Region{N: nS, Width: swBytes})).
+		Add(Cost{CPU: cpuPosJoin * float64(nL+nS)})
+	total := scan
+	if bits > 0 {
+		total = total.Add(RadixCluster(m, nL, lwBytes, []int{bits})).
+			Add(RadixCluster(m, nS, swBytes, []int{bits}))
+	}
+	return total.Add(PartitionedHashJoin(m, nL, nS, swBytes, bits, nOut))
+}
+
+// NSMPostDecluster models the NSM post-projection strategy with the
+// Radix algorithms: key-extraction scans over the ω-wide records, the
+// partitioned hash-join on the extracted keys, partial cluster of the
+// join-index, clustered record gathers on both sides (each lookup
+// drags a full ω-wide record — the §4.2 tuple-width penalty), the
+// re-cluster, and the row Radix-Decluster over the projected records.
+func NSMPostDecluster(m Model, nJI, baseN, omegaBytes, projBytes, bits, windowTuples int) Cost {
+	scan := m.STrav(Region{N: 2 * baseN, Width: omegaBytes})
+	jn := RadixCluster(m, 2*baseN, pairBytes, []int{bits}).
+		Add(PartitionedHashJoin(m, baseN, baseN, pairBytes, bits, nJI))
+	reorder := RadixCluster(m, nJI, pairBytes, []int{bits}).Scale(2) // cluster + re-cluster
+	gathers := ClustPosJoin(m, nJI, baseN, omegaBytes, bits).Scale(2)
+	decl := Decluster(m, nJI, max(projBytes, 4), bits, windowTuples)
+	return scan.Add(jn).Add(reorder).Add(gathers).Add(decl)
+}
+
+// JivePost models NSM post-projection with Jive-Join: key scans, the
+// partitioned hash-join, a full Radix-Sort of the join-index on the
+// left oids, and the two Jive phases over ω-wide records.
+func JivePost(m Model, nJI, leftN, rightN, omegaBytes, projBytes, bits int) Cost {
+	scan := m.STrav(Region{N: leftN + rightN, Width: omegaBytes})
+	jn := RadixCluster(m, leftN+rightN, pairBytes, []int{bits}).
+		Add(PartitionedHashJoin(m, leftN, rightN, pairBytes, bits, nJI))
+	sortBits := max(1, mem.Log2Ceil(leftN))
+	srt := RadixCluster(m, nJI, pairBytes, radix.SplitBits(sortBits, 12))
+	left := LeftJive(m, nJI, leftN, omegaBytes, bits)
+	right := RightJive(m, nJI, rightN, max(projBytes, 4), bits)
+	return scan.Add(jn).Add(srt).Add(left).Add(right)
+}
+
 // cpuParallelFork approximates the per-worker coordination cost of
 // the morsel-driven executor (pool fork, morsel-queue traffic, and
 // the partition-order stitch) in nanoseconds.
 const cpuParallelFork = 20_000
 
+// parallelPerWorker is the morsel-driven executor's model applied to
+// any per-shape serial cost formula: each of W workers runs the
+// serial composition over a 1/W data share with a 1/W capacity share
+// of every cache level, plus a fork/stitch term linear in W. The
+// caller converts the result to elapsed time with ParallelNanos,
+// which adds the shared memory-bandwidth ceiling.
+func parallelPerWorker(m Model, workers int, per func(mw Model) Cost) Cost {
+	mw := Model{H: m.H, Share: m.share() / float64(workers)}
+	return per(mw).Add(Cost{CPU: cpuParallelFork * float64(workers)})
+}
+
 // DSMPostDeclusterParallel models the DSM post-projection strategy
 // executed by the morsel-driven executor (internal/exec) with W
-// workers: the tuples split W ways, but every cache level is shared,
-// so each worker runs the serial strategy over a 1/W share of the
-// data with a 1/W capacity share per level and a 1/W insertion
-// window. Elapsed time is the per-worker cost — workers proceed
-// concurrently — plus a fork/stitch term linear in W. The shrinking
-// per-core cache share is what eventually stops parallelism paying
-// off: once a worker's window and partition regions no longer fit its
-// share, random misses return and the model turns against more
-// workers.
+// workers: work divides linearly, each worker sees a 1/W cache share
+// and a 1/W insertion window. Two effects stop parallelism from
+// paying off indefinitely: once a worker's window and partition
+// regions no longer fit its shrunken cache share, random misses
+// return; and (applied by ParallelNanos/ChooseParallelism) the job's
+// total memory traffic saturates the bus, which no worker count can
+// compress further.
 func DSMPostDeclusterParallel(m Model, workers, nJI, baseN, width, bits, pi, windowTuples int) Cost {
 	if workers <= 1 {
 		return DSMPostDecluster(m, nJI, baseN, width, bits, pi, windowTuples)
 	}
-	mw := Model{H: m.H, Share: m.share() / float64(workers)}
-	per := DSMPostDecluster(mw, ceilDiv(nJI, workers), ceilDiv(baseN, workers),
-		width, bits, pi, max(1, windowTuples/workers))
-	return per.Add(Cost{CPU: cpuParallelFork * float64(workers)})
+	return parallelPerWorker(m, workers, func(mw Model) Cost {
+		return DSMPostDecluster(mw, ceilDiv(nJI, workers), ceilDiv(baseN, workers),
+			width, bits, pi, max(1, windowTuples/workers))
+	})
 }
 
-// ChooseParallelism returns the worker count in {1, 2, 4, ...,
-// maxWorkers} with the lowest modeled elapsed time for the DSM
-// post-projection strategy — the planner's serial-vs-parallel
-// decision. It weighs the linear division of work against the
-// shrinking per-core cache capacity modeled by
-// DSMPostDeclusterParallel.
-func ChooseParallelism(m Model, maxWorkers, nJI, baseN, width, bits, pi, windowTuples int) int {
+// PreProjectionRowsParallel models the pre-projection strategies on
+// the executor. With bits = 0 (the naive hash-join) only the probe
+// side divides — the executor builds the table serially — which the
+// 1/W data share approximates optimistically; the bandwidth ceiling
+// keeps the estimate honest.
+func PreProjectionRowsParallel(m Model, workers, nL, nS, lwBytes, swBytes, bits, nOut int) Cost {
+	if workers <= 1 {
+		return PreProjectionRows(m, nL, nS, lwBytes, swBytes, bits, nOut)
+	}
+	return parallelPerWorker(m, workers, func(mw Model) Cost {
+		return PreProjectionRows(mw, ceilDiv(nL, workers), ceilDiv(nS, workers),
+			lwBytes, swBytes, bits, ceilDiv(nOut, workers))
+	})
+}
+
+// NSMPostDeclusterParallel models the NSM post-projection strategy on
+// the executor.
+func NSMPostDeclusterParallel(m Model, workers, nJI, baseN, omegaBytes, projBytes, bits, windowTuples int) Cost {
+	if workers <= 1 {
+		return NSMPostDecluster(m, nJI, baseN, omegaBytes, projBytes, bits, windowTuples)
+	}
+	return parallelPerWorker(m, workers, func(mw Model) Cost {
+		return NSMPostDecluster(mw, ceilDiv(nJI, workers), ceilDiv(baseN, workers),
+			omegaBytes, projBytes, bits, max(1, windowTuples/workers))
+	})
+}
+
+// JivePostParallel models the Jive strategy on the executor.
+func JivePostParallel(m Model, workers, nJI, leftN, rightN, omegaBytes, projBytes, bits int) Cost {
+	if workers <= 1 {
+		return JivePost(m, nJI, leftN, rightN, omegaBytes, projBytes, bits)
+	}
+	return parallelPerWorker(m, workers, func(mw Model) Cost {
+		return JivePost(mw, ceilDiv(nJI, workers), ceilDiv(leftN, workers),
+			ceilDiv(rightN, workers), omegaBytes, projBytes, bits)
+	})
+}
+
+// chooseWorkers returns the worker count in {1, 2, 4, ...,
+// maxWorkers} with the lowest modeled elapsed time, evaluating
+// parallel candidates through the memory-bandwidth ceiling
+// (ParallelNanos with the serial cost as the traffic total).
+func chooseWorkers(m Model, maxWorkers int, serial Cost, parallel func(w int) Cost) int {
 	best := 1
-	bestNs := m.Nanos(DSMPostDecluster(m, nJI, baseN, width, bits, pi, windowTuples))
+	bestNs := m.Nanos(serial)
 	for w := 2; w <= maxWorkers; w *= 2 {
-		ns := m.Nanos(DSMPostDeclusterParallel(m, w, nJI, baseN, width, bits, pi, windowTuples))
-		if ns < bestNs {
+		if ns := m.ParallelNanos(parallel(w), serial, w); ns < bestNs {
 			best, bestNs = w, ns
 		}
 	}
 	return best
+}
+
+// ChooseParallelism is the planner's serial-vs-parallel decision for
+// the DSM post-projection strategy: linear work division vs the
+// shrinking per-core cache share (DSMPostDeclusterParallel) vs the
+// shared memory-bandwidth ceiling (ParallelNanos).
+func ChooseParallelism(m Model, maxWorkers, nJI, baseN, width, bits, pi, windowTuples int) int {
+	serial := DSMPostDecluster(m, nJI, baseN, width, bits, pi, windowTuples)
+	return chooseWorkers(m, maxWorkers, serial, func(w int) Cost {
+		return DSMPostDeclusterParallel(m, w, nJI, baseN, width, bits, pi, windowTuples)
+	})
+}
+
+// ChooseParallelismRows is the decision for the pre-projection
+// strategies (DSM-pre and both NSM-pre variants).
+func ChooseParallelismRows(m Model, maxWorkers, nL, nS, lwBytes, swBytes, bits int) int {
+	serial := PreProjectionRows(m, nL, nS, lwBytes, swBytes, bits, nL)
+	return chooseWorkers(m, maxWorkers, serial, func(w int) Cost {
+		return PreProjectionRowsParallel(m, w, nL, nS, lwBytes, swBytes, bits, nL)
+	})
+}
+
+// ChooseParallelismNSMPost is the decision for NSM post-projection
+// with the Radix algorithms.
+func ChooseParallelismNSMPost(m Model, maxWorkers, nJI, baseN, omegaBytes, projBytes, bits, windowTuples int) int {
+	serial := NSMPostDecluster(m, nJI, baseN, omegaBytes, projBytes, bits, windowTuples)
+	return chooseWorkers(m, maxWorkers, serial, func(w int) Cost {
+		return NSMPostDeclusterParallel(m, w, nJI, baseN, omegaBytes, projBytes, bits, windowTuples)
+	})
+}
+
+// ChooseParallelismJive is the decision for NSM post-projection with
+// Jive-Join.
+func ChooseParallelismJive(m Model, maxWorkers, nJI, leftN, rightN, omegaBytes, projBytes, bits int) int {
+	serial := JivePost(m, nJI, leftN, rightN, omegaBytes, projBytes, bits)
+	return chooseWorkers(m, maxWorkers, serial, func(w int) Cost {
+		return JivePostParallel(m, w, nJI, leftN, rightN, omegaBytes, projBytes, bits)
+	})
 }
 
 func ceilDiv(a, b int) int {

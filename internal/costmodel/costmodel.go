@@ -131,6 +131,44 @@ func (m Model) Nanos(c Cost) float64 {
 // Millis converts a cost to milliseconds.
 func (m Model) Millis(c Cost) float64 { return m.Nanos(c) / 1e6 }
 
+// MemNanos returns the time attributable to traffic below the
+// last-level cache — LLC misses served by RAM. This is the component
+// every core shares: private caches replicate per worker, but all
+// workers stream over one memory bus.
+func (m Model) MemNanos(c Cost) float64 {
+	llc := m.H.LLC()
+	t := 0.0
+	for _, lc := range c.Levels {
+		if lc.Name == llc.Name {
+			t += lc.Seq*llc.SeqLatency + lc.Rand*llc.MissLatency
+		}
+	}
+	return t
+}
+
+// memSaturationStreams is the number of concurrent access streams
+// that saturate the memory bus: a few cores running the sequential-
+// heavy radix operators draw the full DRAM bandwidth, and additional
+// workers only divide it (STREAM-style scaling on desktop parts).
+const memSaturationStreams = 4
+
+// ParallelNanos converts a per-worker parallel cost into modeled
+// elapsed nanoseconds with a memory-bandwidth ceiling: workers
+// proceed concurrently, so elapsed time tracks the per-worker cost —
+// but the job's total LLC-miss traffic still streams over one bus
+// that saturates after memSaturationStreams concurrent streams.
+// total is the serial (whole-job) cost whose memory component sets
+// the floor. The ceiling — not the shrinking per-core cache share —
+// is what stops the bandwidth-bound operators from scaling linearly.
+func (m Model) ParallelNanos(perWorker, total Cost, workers int) float64 {
+	ns := m.Nanos(perWorker)
+	if workers <= 1 {
+		return ns
+	}
+	floor := m.MemNanos(total) / math.Min(float64(workers), memSaturationStreams)
+	return math.Max(ns, floor)
+}
+
 func (m Model) eachLevel(f func(l mem.Level, cap float64) LevelCost) Cost {
 	out := Cost{Levels: make([]LevelCost, len(m.H.Levels))}
 	for i, l := range m.H.Levels {

@@ -184,6 +184,94 @@ func TestDSMPostDeclusterScalesWithPi(t *testing.T) {
 	}
 }
 
+// MemNanos must isolate the LLC-miss (bus) component: it is positive
+// for memory-sized regions, no larger than the full cost, and zero
+// for an empty cost.
+func TestMemNanos(t *testing.T) {
+	m := model()
+	c := m.RTrav(Region{N: 4 << 20, Width: 4})
+	memNs := m.MemNanos(c)
+	if memNs <= 0 {
+		t.Fatal("no memory component for a 16MB random traversal")
+	}
+	if memNs > m.Nanos(c) {
+		t.Fatalf("memory component %.0fns exceeds total %.0fns", memNs, m.Nanos(c))
+	}
+	if m.MemNanos(Cost{}) != 0 {
+		t.Fatal("empty cost has memory time")
+	}
+}
+
+// The bandwidth ceiling must bind: with enough workers the modeled
+// elapsed time stops improving even though the per-worker cost keeps
+// shrinking, and it never drops below total memory time divided by
+// the saturation stream count.
+func TestParallelNanosBandwidthCeiling(t *testing.T) {
+	m := model()
+	const n = 8 << 20
+	serial := DSMPostDecluster(m, n, n, 4, 8, 2, 64<<10)
+	floor := m.MemNanos(serial) / memSaturationStreams
+	var last float64
+	for w := 2; w <= 64; w *= 2 {
+		last = m.ParallelNanos(DSMPostDeclusterParallel(m, w, n, n, 4, 8, 2, 64<<10), serial, w)
+		if last < floor-1 {
+			t.Fatalf("w=%d: %.0fns beats the bandwidth floor %.0fns", w, last, floor)
+		}
+	}
+	// At 64 workers the ceiling, not work division, must set the time.
+	if last > floor*4 {
+		t.Fatalf("64 workers (%.0fns) far above the bandwidth floor (%.0fns): ceiling not binding", last, floor)
+	}
+}
+
+// Every strategy's chooser must return a worker count within range
+// and pick serial when there is only one core.
+func TestChoosersCoverEveryStrategy(t *testing.T) {
+	m := model()
+	const n = 1 << 20
+	checks := []struct {
+		name string
+		f    func(maxW int) int
+	}{
+		{"dsm-post", func(mw int) int { return ChooseParallelism(m, mw, n, n, 4, 8, 2, 64<<10) }},
+		{"rows", func(mw int) int { return ChooseParallelismRows(m, mw, n, n, 12, 12, 8) }},
+		{"rows-naive", func(mw int) int { return ChooseParallelismRows(m, mw, n, n, 12, 12, 0) }},
+		{"nsm-post", func(mw int) int { return ChooseParallelismNSMPost(m, mw, n, n, 16, 8, 8, 64<<10) }},
+		{"jive", func(mw int) int { return ChooseParallelismJive(m, mw, n, n, n, 16, 8, 8) }},
+	}
+	for _, c := range checks {
+		if got := c.f(1); got != 1 {
+			t.Fatalf("%s: one core must stay serial, got %d", c.name, got)
+		}
+		for _, mw := range []int{2, 8, 64} {
+			got := c.f(mw)
+			if got < 1 || got > mw {
+				t.Fatalf("%s: chose %d workers with max %d", c.name, got, mw)
+			}
+		}
+	}
+}
+
+// The new strategy compositions must be monotone in their main size
+// parameter and strictly positive.
+func TestStrategyCostCompositions(t *testing.T) {
+	m := model()
+	small := m.Millis(PreProjectionRows(m, 1<<18, 1<<18, 12, 12, 8, 1<<18))
+	big := m.Millis(PreProjectionRows(m, 1<<21, 1<<21, 12, 12, 8, 1<<21))
+	if small <= 0 || big <= small {
+		t.Fatalf("pre-projection cost not monotone: %d -> %.1fms, %d -> %.1fms", 1<<18, small, 1<<21, big)
+	}
+	narrow := m.Millis(NSMPostDecluster(m, 1<<20, 1<<20, 8, 4, 8, 64<<10))
+	wide := m.Millis(NSMPostDecluster(m, 1<<20, 1<<20, 64, 4, 8, 64<<10))
+	if narrow <= 0 || wide <= narrow {
+		t.Fatalf("NSM post cost must grow with tuple width: ω=2 %.1fms !< ω=16 %.1fms", narrow, wide)
+	}
+	jv := m.Millis(JivePost(m, 1<<20, 1<<20, 1<<20, 16, 4, 8))
+	if jv <= 0 {
+		t.Fatalf("jive cost %.1fms", jv)
+	}
+}
+
 func TestValidate(t *testing.T) {
 	if err := model().Validate(); err != nil {
 		t.Fatal(err)

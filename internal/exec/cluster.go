@@ -177,6 +177,26 @@ func (p *Pool) SortOIDPairs(key, other []OID, h mem.Hierarchy) (*radix.OIDPairsR
 	return p.ClusterOIDPairs(key, other, radix.Opts{Bits: bits})
 }
 
+// prefixSumChunks turns per-chunk histograms (chunk-major: counts[k*h+c]
+// is chunk k's count of cluster c) into disjoint insertion cursors,
+// walking clusters outermost and chunks in input order so chunk k's
+// slice of every cluster starts where chunk k-1's ends — the carving
+// that makes chunked scatters reproduce the serial stable clustering.
+// counts is rewritten in place to the cursors; the returned h+1 slice
+// holds the cluster start offsets.
+func prefixSumChunks(counts []int, h, nch int) []int {
+	offsets := make([]int, h+1)
+	pos := 0
+	for c := 0; c < h; c++ {
+		offsets[c] = pos
+		for k := 0; k < nch; k++ {
+			counts[k*h+c], pos = pos, pos+counts[k*h+c]
+		}
+	}
+	offsets[h] = pos
+	return offsets
+}
+
 // serialPreferred reports whether the serial engine should handle this
 // clustering: tiny inputs, degenerate fan-outs, single-worker pools,
 // and bit widths beyond the two-level scheme.
@@ -217,18 +237,9 @@ func (p *Pool) scatter2(rad []uint32, chunks []Range, o radix.Opts,
 		}
 	})
 
-	// Serial prefix sum, clusters outermost and chunks in input order:
-	// counts becomes the per-(chunk, cluster) insertion cursors, and
-	// off1 the level-1 cluster starts.
-	off1 := make([]int, h1+1)
-	pos := 0
-	for c := 0; c < h1; c++ {
-		off1[c] = pos
-		for k := 0; k < nch; k++ {
-			counts[k*h1+c], pos = pos, pos+counts[k*h1+c]
-		}
-	}
-	off1[h1] = pos
+	// Serial prefix sum: counts becomes the per-(chunk, cluster)
+	// insertion cursors, off1 the level-1 cluster starts.
+	off1 := prefixSumChunks(counts, h1, nch)
 
 	// Pass 2: scatter. Chunk cursors are disjoint by construction, so
 	// workers write to disjoint output positions.

@@ -31,6 +31,27 @@
 //     (the cluster contents partition the result permutation, so
 //     writes are disjoint) within a per-worker insertion window.
 //
+// Beyond the operators, the package defines the Phase/Pipeline layer
+// every project-join strategy executes on (pipeline.go). The contract:
+// a strategy is assembled as an ordered list of Phases; phases run
+// strictly in order, so phase bodies may close over shared variables
+// without synchronisation; each phase body receives the run's single
+// Engine, which dispatches every substrate operator either to the
+// serial paper code (Workers() == 0) or to the pool-backed parallel
+// operators here, and all intra-phase data parallelism must go
+// through the Engine (operator methods or Engine.ForRanges) — no
+// strategy owns goroutines of its own. Each Phase carries a PhaseKind
+// that buckets its elapsed time into the paper's phase breakdown;
+// Pipeline.Execute returns the accumulated Timings. Parallel and
+// serial assemblies of the same pipeline produce byte-identical
+// results; worker count changes wall-clock only.
+//
+// Morsel kinds: contiguous tuple/record ranges (scans, stitches,
+// fetches, probe chunks of the naive rows join, Jive left-phase
+// chunks), radix partitions (hash-join partition pairs), and cluster
+// groups (clustered fetches, Radix-Decluster insertion regions, Jive
+// right-phase clusters).
+//
 // Per-worker Scratch buffers keep the hot loops allocation-free.
 package exec
 

@@ -1,0 +1,115 @@
+package exec
+
+// Parallel Jive-Join phases. The left phase is a fan-out scatter with
+// the same structure as the parallel Radix-Cluster: chunks of the
+// (left-sorted) join-index histogram privately, a serial prefix sum —
+// clusters outermost, chunks in input order — hands every chunk
+// disjoint insertion cursors, and the chunk scatters reproduce the
+// serial cluster contents in global input order. The right phase's
+// clusters own disjoint result ranges (ResultPos is the identity
+// within a cluster), so cluster groups are independent morsels.
+
+import (
+	"fmt"
+
+	"radixdecluster/internal/bat"
+	"radixdecluster/internal/jive"
+	"radixdecluster/internal/join"
+	"radixdecluster/internal/nsm"
+)
+
+// JiveLeftRows is the parallel equivalent of jive.LeftRows: the
+// left-phase merge of the sorted join-index with the left relation,
+// fanning out into 2^bits clusters, chunked over join-index ranges.
+func (p *Pool) JiveLeftRows(ji *join.Index, left *nsm.Relation, leftCols []int, rightLen, bits int) (*jive.LeftRowsResult, error) {
+	n := ji.Len()
+	// Beyond maxFirstPassBits the per-chunk histograms (chunks × 2^bits
+	// cursors) stop fitting private cache slices — and would balloon
+	// memory — so the serial left phase takes over, exactly like the
+	// clustering operators' fan-out cap.
+	if p.workers == 1 || n < MinParallelN || bits > maxFirstPassBits {
+		return jive.LeftRows(ji, left, leftCols, rightLen, bits)
+	}
+	if bits < 0 {
+		return nil, fmt.Errorf("jive: bad cluster bits %d", bits)
+	}
+	shift := jive.ClusterShift(rightLen, bits)
+	h := 1 << bits
+	chunks := p.chunksFor(n)
+	nch := len(chunks)
+
+	// Pass 1: per-chunk histograms.
+	counts := make([]int, nch*h)
+	errs := make([]error, nch)
+	p.Run(nch, func(_, t int, _ *Scratch) {
+		errs[t] = jive.CountRowsChunk(counts[t*h:(t+1)*h], ji.Smaller, shift, rightLen,
+			chunks[t].Lo, chunks[t].Hi)
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+
+	// Serial prefix sum: counts becomes per-(chunk, cluster) insertion
+	// cursors, offsets the cluster starts — identical to the serial
+	// left phase's extents.
+	offsets := prefixSumChunks(counts, h, nch)
+
+	// Pass 2: chunk scatters through disjoint cursors.
+	out := jive.NewLeftRowsResult(left.Name+"_proj", n, leftCols, offsets, bits)
+	p.Run(nch, func(_, t int, _ *Scratch) {
+		errs[t] = jive.ScatterRowsChunk(out, ji, left, leftCols, counts[t*h:(t+1)*h], shift,
+			chunks[t].Lo, chunks[t].Hi)
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// JiveRightRows is the parallel equivalent of jive.RightRows: cluster
+// groups are morsels, each sorting its clusters' oids and writing the
+// projected right fields into its own disjoint result ranges.
+func (p *Pool) JiveRightRows(lr *jive.LeftRowsResult, right *nsm.Relation, rightCols []int) (*nsm.Relation, error) {
+	n := len(lr.RightOIDs)
+	if p.workers == 1 || n < MinParallelN {
+		return jive.RightRows(lr, right, rightCols)
+	}
+	out := nsm.New(right.Name+"_proj", n, len(rightCols))
+	borders := bat.BordersFromOffsets(lr.Borders)
+	groups := groupBorders(borders, p.workers*morselsPerWorker, n)
+	errs := make([]error, len(groups))
+	p.Run(len(groups), func(_, t int, _ *Scratch) {
+		var perm []int // sort scratch reused across the group's clusters
+		for c := groups[t].Lo; c < groups[t].Hi; c++ {
+			if lr.Borders[c] == lr.Borders[c+1] {
+				continue
+			}
+			var err error
+			perm, err = jive.RightRowsCluster(out, lr, right, rightCols, c, perm)
+			if err != nil {
+				errs[t] = err
+				return
+			}
+		}
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// JiveLeft is the engine front for the left Jive phase.
+func (e *Engine) JiveLeft(ji *join.Index, left *nsm.Relation, leftCols []int, rightLen, bits int) (*jive.LeftRowsResult, error) {
+	if e.pool == nil {
+		return jive.LeftRows(ji, left, leftCols, rightLen, bits)
+	}
+	return e.pool.JiveLeftRows(ji, left, leftCols, rightLen, bits)
+}
+
+// JiveRight is the engine front for the right Jive phase.
+func (e *Engine) JiveRight(lr *jive.LeftRowsResult, right *nsm.Relation, rightCols []int) (*nsm.Relation, error) {
+	if e.pool == nil {
+		return jive.RightRows(lr, right, rightCols)
+	}
+	return e.pool.JiveRightRows(lr, right, rightCols)
+}

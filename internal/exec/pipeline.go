@@ -1,0 +1,268 @@
+package exec
+
+// Phase pipelines: the uniform execution layer all five project-join
+// strategies run on. A strategy is assembled as an ordered list of
+// Phases; each Phase body receives the Engine, which dispatches every
+// substrate operator either to the serial paper implementations
+// (internal/radix, internal/join, internal/posjoin, internal/core,
+// internal/nsm, internal/jive) or to their morsel-driven parallel
+// counterparts in this package, sharing one worker pool, one morsel
+// queue and the per-worker Scratch across all phases of a run.
+//
+// The contract (see also the package comment in exec.go):
+//
+//   - Engine with 0 workers is the serial engine: every operator calls
+//     the paper code directly, no goroutines, no pool. Engine with
+//     n >= 1 workers owns a Pool; operators run parallel when the
+//     input clears MinParallelN and fall back to the serial code
+//     otherwise. Either way an operator's output is byte-identical to
+//     its serial counterpart — parallelism changes wall-clock only.
+//   - Phases run strictly in order; a phase starts only after its
+//     predecessor finished, so phase bodies may close over shared
+//     variables without synchronisation. All intra-phase parallelism
+//     goes through the Engine.
+//   - Each Phase carries a PhaseKind that buckets its elapsed time
+//     into the paper's wall-clock breakdown (scan / join / reorder /
+//     project / decluster); Execute returns the accumulated Timings.
+//   - Phase bodies must route every data-parallel loop through the
+//     Engine (operator methods or ForRanges) — strategies own no
+//     goroutines of their own.
+
+import (
+	"time"
+
+	"radixdecluster/internal/bat"
+	"radixdecluster/internal/core"
+	"radixdecluster/internal/join"
+	"radixdecluster/internal/mem"
+	"radixdecluster/internal/posjoin"
+	"radixdecluster/internal/radix"
+)
+
+// PhaseKind buckets a phase's elapsed time into the paper's
+// phase-by-phase breakdown.
+type PhaseKind int
+
+const (
+	// PhaseScan: record scans, wide-tuple stitching, key extraction.
+	PhaseScan PhaseKind = iota
+	// PhaseJoin: clustering of the join inputs plus hash build/probe.
+	PhaseJoin
+	// PhaseReorder: Radix-Sort / partial Radix-Cluster of the join-index.
+	PhaseReorder
+	// PhaseProjectLarger / PhaseProjectSmaller: the Positional-Joins
+	// (or NSM record gathers) of the two projection sides.
+	PhaseProjectLarger
+	PhaseProjectSmaller
+	// PhaseDecluster: Radix-Decluster, the Jive right-phase scatter, or
+	// final result assembly.
+	PhaseDecluster
+	// NumPhaseKinds sizes Timings.ByKind.
+	NumPhaseKinds
+)
+
+func (k PhaseKind) String() string {
+	switch k {
+	case PhaseScan:
+		return "scan"
+	case PhaseJoin:
+		return "join"
+	case PhaseReorder:
+		return "reorder"
+	case PhaseProjectLarger:
+		return "project-larger"
+	case PhaseProjectSmaller:
+		return "project-smaller"
+	case PhaseDecluster:
+		return "decluster"
+	}
+	return "unknown"
+}
+
+// Phase is one stage of a strategy pipeline.
+type Phase struct {
+	Kind PhaseKind
+	Name string
+	Run  func(e *Engine) error
+}
+
+// Timings is the wall-clock outcome of Pipeline.Execute: per-kind
+// accumulated durations plus the end-to-end total.
+type Timings struct {
+	ByKind [NumPhaseKinds]time.Duration
+	Total  time.Duration
+}
+
+// Pipeline is an ordered list of phases bound to one Engine. Build it
+// with NewPipeline + Then, run it with Execute, release the pool with
+// Close.
+type Pipeline struct {
+	eng    *Engine
+	phases []Phase
+}
+
+// NewPipeline creates a pipeline on a fresh engine: workers <= 0 =
+// serial paper mode, n >= 1 = morsel-driven pool of n workers.
+func NewPipeline(workers int) *Pipeline {
+	return &Pipeline{eng: NewEngine(workers)}
+}
+
+// Engine exposes the pipeline's engine (for assembly-time decisions).
+func (p *Pipeline) Engine() *Engine { return p.eng }
+
+// Workers returns the engine's pool size, 0 for serial.
+func (p *Pipeline) Workers() int { return p.eng.Workers() }
+
+// Close releases the engine's pool.
+func (p *Pipeline) Close() { p.eng.Close() }
+
+// Then appends a phase and returns the pipeline for chaining.
+func (p *Pipeline) Then(kind PhaseKind, name string, run func(e *Engine) error) *Pipeline {
+	p.phases = append(p.phases, Phase{Kind: kind, Name: name, Run: run})
+	return p
+}
+
+// Execute runs the phases in order, accumulating each phase's elapsed
+// time into its kind's bucket. The first phase error aborts the run;
+// the timings gathered so far are returned alongside it.
+func (p *Pipeline) Execute() (Timings, error) {
+	var tm Timings
+	start := time.Now()
+	for _, ph := range p.phases {
+		t := time.Now()
+		err := ph.Run(p.eng)
+		tm.ByKind[ph.Kind] += time.Since(t)
+		if err != nil {
+			tm.Total = time.Since(start)
+			return tm, err
+		}
+	}
+	tm.Total = time.Since(start)
+	return tm, nil
+}
+
+// Engine dispatches substrate operators to the serial paper code (0
+// workers) or to the worker pool's parallel counterparts. One Engine —
+// and hence one pool and one set of per-worker scratch buffers — is
+// shared by every phase of a pipeline.
+type Engine struct {
+	pool *Pool
+}
+
+// NewEngine creates an engine: workers <= 0 selects the serial paper
+// engine (no pool, no goroutines), workers >= 1 a morsel-driven pool
+// of that size.
+func NewEngine(workers int) *Engine {
+	if workers <= 0 {
+		return &Engine{}
+	}
+	return &Engine{pool: New(workers)}
+}
+
+// Workers returns the pool size, 0 for the serial engine.
+func (e *Engine) Workers() int {
+	if e.pool == nil {
+		return 0
+	}
+	return e.pool.Workers()
+}
+
+// Close releases the pool (no-op for the serial engine).
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.Close()
+	}
+}
+
+// parallel reports whether an n-item operator should run on the pool.
+func (e *Engine) parallel(n int) bool {
+	return e.pool != nil && e.pool.Workers() > 1 && n >= MinParallelN
+}
+
+// ForRanges runs body over contiguous chunks of [0,n): a single
+// [0,n) chunk on the serial engine, pool-scheduled morsels otherwise.
+// The body must write only output slots derivable from its range
+// (disjoint per chunk) — the property that makes chunked scans,
+// stitches and gathers byte-identical to their serial loops.
+func (e *Engine) ForRanges(n int, body func(r Range) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if !e.parallel(n) {
+		return body(Range{Lo: 0, Hi: n})
+	}
+	chunks := e.pool.chunksFor(n)
+	errs := make([]error, len(chunks))
+	e.pool.Run(len(chunks), func(_, t int, _ *Scratch) {
+		errs[t] = body(chunks[t])
+	})
+	return firstErr(errs)
+}
+
+// PartitionedJoin is the Partitioned Hash-Join producing a join-index.
+func (e *Engine) PartitionedJoin(largerOIDs []OID, largerKeys []int32, smallerOIDs []OID, smallerKeys []int32, o radix.Opts) (*join.Index, error) {
+	if e.pool == nil {
+		return join.Partitioned(largerOIDs, largerKeys, smallerOIDs, smallerKeys, o)
+	}
+	return e.pool.Partitioned(largerOIDs, largerKeys, smallerOIDs, smallerKeys, o)
+}
+
+// ClusterOIDPairs radix-clusters an [oid,oid] BAT on the key column.
+func (e *Engine) ClusterOIDPairs(key, other []OID, o radix.Opts) (*radix.OIDPairsResult, error) {
+	if e.pool == nil {
+		return radix.ClusterOIDPairs(key, other, o)
+	}
+	return e.pool.ClusterOIDPairs(key, other, o)
+}
+
+// SortOIDPairs fully Radix-Sorts an [oid,oid] BAT on the key column.
+func (e *Engine) SortOIDPairs(key, other []OID, h mem.Hierarchy) (*radix.OIDPairsResult, error) {
+	if e.pool == nil {
+		return radix.SortOIDPairs(key, other, h)
+	}
+	return e.pool.SortOIDPairs(key, other, h)
+}
+
+// FetchMany runs one Positional-Join per projection column.
+func (e *Engine) FetchMany(cols [][]int32, oids []OID) ([][]int32, error) {
+	if e.pool == nil {
+		return posjoin.FetchMany(cols, oids)
+	}
+	return e.pool.FetchMany(cols, oids)
+}
+
+// Clustered runs the clustered Positional-Join over one column.
+func (e *Engine) Clustered(col []int32, oids []OID, borders []bat.Border) ([]int32, error) {
+	if e.pool == nil {
+		return posjoin.Clustered(col, oids, borders)
+	}
+	return e.pool.Clustered(col, oids, borders)
+}
+
+// ClusterForDecluster performs the Figure-4 re-clustering on this
+// engine's clustering operator.
+func (e *Engine) ClusterForDecluster(smallerOIDs []OID, o radix.Opts) (*core.Clustered, error) {
+	return core.ClusterForDeclusterWith(smallerOIDs, o, e.ClusterOIDPairs)
+}
+
+// Decluster runs Radix-Decluster with the planned (serial) window. The
+// parallel engine divides the window between its workers internally,
+// so the concurrently live window regions together still fit the
+// cache; output bytes never depend on the division.
+func (e *Engine) Decluster(values []int32, ids []OID, borders []bat.Border, windowTuples int) ([]int32, error) {
+	if !e.parallel(len(values)) {
+		return core.Decluster(values, ids, borders, windowTuples)
+	}
+	return e.pool.Decluster(values, ids, borders, perWorkerWindow(windowTuples, e.pool.Workers()))
+}
+
+// perWorkerWindow splits the planned insertion window across workers
+// (each worker's live region gets a 1/workers share of the cache
+// budget), clamped to at least one tuple.
+func perWorkerWindow(windowTuples, workers int) int {
+	w := windowTuples / workers
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

@@ -1,0 +1,355 @@
+package exec
+
+// Parallel operators over row-major (NSM / wide-tuple) data: the
+// radix-clustering of whole records, the payload-carrying
+// pre-projection joins, the record scans and gathers of the NSM
+// strategies, and the row variant of Radix-Decluster. Morsels are
+// contiguous record ranges (scans, stitches, probes), partitions
+// (joins), or cluster groups (gathers, decluster) — each writing a
+// disjoint slice of the output, so every operator reproduces its
+// serial counterpart byte for byte.
+
+import (
+	"fmt"
+
+	"radixdecluster/internal/bat"
+	"radixdecluster/internal/core"
+	"radixdecluster/internal/hash"
+	"radixdecluster/internal/join"
+	"radixdecluster/internal/nsm"
+	"radixdecluster/internal/radix"
+)
+
+// checkRowsInput mirrors the rows validation of internal/join and
+// internal/radix so the parallel fronts reject exactly what the serial
+// code would.
+func checkRowsInput(pkg string, rows []int32, width, key int) error {
+	if width <= 0 || len(rows)%width != 0 {
+		return fmt.Errorf("%s: %d values is not a multiple of width %d", pkg, len(rows), width)
+	}
+	if key < 0 || key >= width {
+		return fmt.Errorf("%s: key column %d out of range [0,%d)", pkg, key, width)
+	}
+	return nil
+}
+
+// ClusterRows is the parallel equivalent of radix.ClusterRows: it
+// radix-clusters width-wide records on hash(record[keyCol]) with the
+// same two-level chunked count-then-scatter as ClusterPairs, moving
+// whole records — the pre-projection "extra luggage" — and produces
+// the identical arrangement and offsets.
+func (p *Pool) ClusterRows(rows []int32, width, keyCol int, o radix.Opts) (*radix.RowsResult, error) {
+	if err := checkRowsInput("radix: ClusterRows", rows, width, keyCol); err != nil {
+		return nil, err
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(rows) / width
+	if p.serialPreferred(n, o.Bits) {
+		return radix.ClusterRows(rows, width, keyCol, o)
+	}
+	rad := make([]uint32, n)
+	chunks := p.chunksFor(n)
+	p.Run(len(chunks), func(_, t int, _ *Scratch) {
+		for i := chunks[t].Lo; i < chunks[t].Hi; i++ {
+			rad[i] = hash.Int32(rows[i*width+keyCol])
+		}
+	})
+	out := make([]int32, len(rows))
+	move := func(i, d int) { copy(out[d*width:(d+1)*width], rows[i*width:(i+1)*width]) }
+	var outRad []uint32
+	if o.Bits > maxFirstPassBits {
+		outRad = make([]uint32, n)
+		move = func(i, d int) {
+			copy(out[d*width:(d+1)*width], rows[i*width:(i+1)*width])
+			outRad[d] = rad[i]
+		}
+	}
+	offsets, err := p.scatter2(rad, chunks, o, move,
+		func(lo, hi int, sub radix.Opts) ([]int, error) {
+			res, err := radix.ClusterRowsPrehashed(outRad[lo:hi], out[lo*width:hi*width], width, sub)
+			if err != nil {
+				return nil, err
+			}
+			copy(out[lo*width:hi*width], res.Rows)
+			return res.Offsets, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &radix.RowsResult{Rows: out, Width: width, Offsets: offsets}, nil
+}
+
+// PartitionedRows is the parallel equivalent of join.PartitionedRows:
+// both wide-tuple inputs are radix-clustered in parallel, partition
+// pairs are probed as morsels, and the per-partition result rows are
+// stitched in partition order — the order the serial loop appends
+// them.
+func (p *Pool) PartitionedRows(larger []int32, lw, lkey int, smaller []int32, sw, skey int, o radix.Opts) (*join.RowsResult, error) {
+	if err := checkRowsInput("join", larger, lw, lkey); err != nil {
+		return nil, err
+	}
+	if err := checkRowsInput("join", smaller, sw, skey); err != nil {
+		return nil, err
+	}
+	if p.workers == 1 || len(larger)/lw+len(smaller)/sw < MinParallelN {
+		return join.PartitionedRows(larger, lw, lkey, smaller, sw, skey, o)
+	}
+	if o.Bits == 0 {
+		// Degenerate single partition: the B=0 clustering is an
+		// identity copy, so one partition pair would be one morsel —
+		// fully serial. Skip the copy and probe larger-side chunks
+		// concurrently instead (chunks in input order reproduce the
+		// serial probe order exactly).
+		if err := o.Validate(); err != nil {
+			return nil, err
+		}
+		t, err := join.BuildRowsTable(smaller, sw, skey, uint(o.Ignore))
+		if err != nil {
+			return nil, err
+		}
+		return p.probeRowsChunked(t, larger, lw, lkey, sw), nil
+	}
+	cl, err := p.ClusterRows(larger, lw, lkey, o)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := p.ClusterRows(smaller, sw, skey, o)
+	if err != nil {
+		return nil, err
+	}
+	h := len(cl.Offsets) - 1
+	shift := uint(o.Ignore + o.Bits)
+	parts := make([][]int32, h)
+	p.Run(h, func(_, pt int, _ *Scratch) {
+		ll, lh := cl.Offsets[pt]*lw, cl.Offsets[pt+1]*lw
+		sl, sh := cs.Offsets[pt]*sw, cs.Offsets[pt+1]*sw
+		if ll == lh || sl == sh {
+			return
+		}
+		// Presize to one match per probe tuple — exact for key-FK
+		// joins; expanding joins (duplicate smaller keys) regrow.
+		buf := make([]int32, 0, (cl.Offsets[pt+1]-cl.Offsets[pt])*(lw+sw-2))
+		parts[pt] = join.ProbeRowsPartition(cs.Rows[sl:sh], sw, skey,
+			cl.Rows[ll:lh], lw, lkey, shift, buf)
+	})
+	return stitchRowParts(parts, lw+sw-2, p), nil
+}
+
+// HashRows is the parallel equivalent of join.HashRows: the hash
+// table over the smaller relation is built once (serially — chain
+// order fixes duplicate-match order), then chunks of the larger
+// relation probe it concurrently into private buffers stitched in
+// chunk order.
+func (p *Pool) HashRows(larger []int32, lw, lkey int, smaller []int32, sw, skey int) (*join.RowsResult, error) {
+	if err := checkRowsInput("join", larger, lw, lkey); err != nil {
+		return nil, err
+	}
+	if p.workers == 1 || len(larger)/lw+len(smaller)/sw < MinParallelN {
+		return join.HashRows(larger, lw, lkey, smaller, sw, skey)
+	}
+	t, err := join.BuildRowsTable(smaller, sw, skey, 0)
+	if err != nil {
+		return nil, err
+	}
+	return p.probeRowsChunked(t, larger, lw, lkey, sw), nil
+}
+
+// probeRowsChunked probes larger-side chunks against a prebuilt row
+// table concurrently, stitching the per-chunk match buffers in chunk
+// (= input) order — the serial probe order.
+func (p *Pool) probeRowsChunked(t *join.RowTable, larger []int32, lw, lkey, sw int) *join.RowsResult {
+	chunks := p.chunksFor(len(larger) / lw)
+	parts := make([][]int32, len(chunks))
+	p.Run(len(chunks), func(_, c int, _ *Scratch) {
+		r := chunks[c]
+		buf := make([]int32, 0, r.Len()*(lw+sw-2))
+		parts[c] = t.ProbeRows(larger[r.Lo*lw:r.Hi*lw], lw, lkey, buf)
+	})
+	return stitchRowParts(parts, lw+sw-2, p)
+}
+
+// stitchRowParts concatenates per-morsel result-row buffers in morsel
+// order — a parallel prefix-sum copy into disjoint output ranges.
+func stitchRowParts(parts [][]int32, width int, p *Pool) *join.RowsResult {
+	offs := make([]int, len(parts)+1)
+	for i, part := range parts {
+		offs[i+1] = offs[i] + len(part)
+	}
+	out := make([]int32, offs[len(parts)])
+	p.Run(len(parts), func(_, i int, _ *Scratch) {
+		copy(out[offs[i]:offs[i+1]], parts[i])
+	})
+	return &join.RowsResult{Rows: out, Width: width}
+}
+
+// PartitionedRowsJoin is the engine front for the pre-projection
+// Partitioned Hash-Join over wide tuples.
+func (e *Engine) PartitionedRowsJoin(larger []int32, lw, lkey int, smaller []int32, sw, skey int, o radix.Opts) (*join.RowsResult, error) {
+	if e.pool == nil {
+		return join.PartitionedRows(larger, lw, lkey, smaller, sw, skey, o)
+	}
+	return e.pool.PartitionedRows(larger, lw, lkey, smaller, sw, skey, o)
+}
+
+// HashRowsJoin is the engine front for the naive pre-projection
+// Hash-Join over wide tuples.
+func (e *Engine) HashRowsJoin(larger []int32, lw, lkey int, smaller []int32, sw, skey int) (*join.RowsResult, error) {
+	if e.pool == nil {
+		return join.HashRows(larger, lw, lkey, smaller, sw, skey)
+	}
+	return e.pool.HashRows(larger, lw, lkey, smaller, sw, skey)
+}
+
+// ScanColumn extracts one attribute of every record — the strided
+// key-extraction scan of the NSM post-projection strategies, chunked
+// over record ranges.
+func (e *Engine) ScanColumn(rel *nsm.Relation, col int) []int32 {
+	out := make([]int32, rel.Len())
+	_ = e.ForRanges(rel.Len(), func(r Range) error {
+		rel.ScanColumnInto(out, col, r.Lo, r.Hi)
+		return nil
+	})
+	return out
+}
+
+// ScanProject materialises the paper's "NSM projection routine" scan
+// as a narrower relation, chunked over record ranges.
+func (e *Engine) ScanProject(rel *nsm.Relation, name string, cols []int) *nsm.Relation {
+	out := nsm.New(name, rel.Len(), len(cols))
+	_ = e.ForRanges(rel.Len(), func(r Range) error {
+		rel.ScanProjectInto(out, r.Lo, r.Hi, cols)
+		return nil
+	})
+	return out
+}
+
+// GatherProjectInto fetches the attributes named by cols from the
+// records selected by oids into a row-major buffer at field offset
+// dstOff, chunked over oid ranges (disjoint destination records).
+func (e *Engine) GatherProjectInto(rel *nsm.Relation, dst []int32, dstWidth, dstOff int, oids []OID, cols []int) error {
+	if dstOff < 0 || dstOff+len(cols) > dstWidth {
+		return fmt.Errorf("nsm: GatherProjectInto: fields [%d,%d) outside record width %d", dstOff, dstOff+len(cols), dstWidth)
+	}
+	if len(dst) != len(oids)*dstWidth {
+		return fmt.Errorf("nsm: GatherProjectInto: dst holds %d records, want %d", len(dst)/dstWidth, len(oids))
+	}
+	return e.ForRanges(len(oids), func(r Range) error {
+		return rel.GatherProjectInto(dst[r.Lo*dstWidth:r.Hi*dstWidth], dstWidth, dstOff, oids[r.Lo:r.Hi], cols)
+	})
+}
+
+// GatherProject fetches the attributes named by cols from the records
+// selected by oids into a new relation, chunked over oid ranges.
+func (e *Engine) GatherProject(rel *nsm.Relation, name string, oids []OID, cols []int) (*nsm.Relation, error) {
+	out := nsm.New(name, len(oids), len(cols))
+	if err := e.GatherProjectInto(rel, out.Data, len(cols), 0, oids, cols); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AppendFields glues two equal-cardinality relations side by side,
+// chunked over record ranges.
+func (e *Engine) AppendFields(name string, a, b *nsm.Relation) (*nsm.Relation, error) {
+	if a.Len() != b.Len() {
+		return nil, fmt.Errorf("nsm: AppendFields: %d vs %d records", a.Len(), b.Len())
+	}
+	out := nsm.New(name, a.Len(), a.Width+b.Width)
+	err := e.ForRanges(a.Len(), func(r Range) error {
+		nsm.AppendFieldsInto(out, a, b, r.Lo, r.Hi)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DeclusterRowsInto runs the row variant of Radix-Decluster into a
+// caller-provided row-major buffer at field offset outOff. Cluster
+// groups are morsels; each group's clusters own a disjoint set of
+// result records, and the parallel engine divides the insertion
+// window between workers exactly as Decluster does.
+func (e *Engine) DeclusterRowsInto(out []int32, outWidth, outOff int, values []int32, width int, ids []OID, borders []bat.Border, windowTuples int) error {
+	if width <= 0 || len(values)%width != 0 {
+		return fmt.Errorf("core: DeclusterRowsInto: %d values not a multiple of width %d", len(values), width)
+	}
+	n := len(values) / width
+	if !e.parallel(n) {
+		return core.DeclusterRowsInto(out, outWidth, outOff, values, width, ids, borders, windowTuples)
+	}
+	if len(ids) != n {
+		return fmt.Errorf("core: DeclusterRowsInto: %d records vs %d ids", n, len(ids))
+	}
+	if outOff < 0 || outOff+width > outWidth {
+		return fmt.Errorf("core: DeclusterRowsInto: fields [%d,%d) outside record width %d", outOff, outOff+width, outWidth)
+	}
+	if len(out) != n*outWidth {
+		return fmt.Errorf("core: DeclusterRowsInto: out holds %d records of width %d, want %d", len(out)/outWidth, outWidth, n)
+	}
+	if windowTuples < 1 {
+		return fmt.Errorf("core: DeclusterRowsInto: window of %d tuples", windowTuples)
+	}
+	if err := bat.ValidateBorders(borders, n); err != nil {
+		return err
+	}
+	pool := e.pool
+	window := perWorkerWindow(windowTuples, pool.Workers())
+	groups := groupBorders(borders, pool.Workers()*morselsPerWorker, n)
+	errs := make([]error, len(groups))
+	pool.Run(len(groups), func(_, t int, s *Scratch) {
+		errs[t] = declusterRowsGroup(out, outWidth, outOff, values, width, ids,
+			borders[groups[t].Lo:groups[t].Hi], window, s)
+	})
+	return firstErr(errs)
+}
+
+// declusterRowsGroup is declusterGroup (project.go) for row-major
+// records written at a field offset: the Figure-6 windowed
+// merge-scatter over one group of clusters, copying whole projected
+// records. The control loop is kept specialized rather than shared —
+// like internal/core's Decluster/DeclusterRows/DeclusterFunc trio —
+// because an emit closure or per-tuple memmove in the scalar variant
+// would tax the paper's hottest loop; change both in lockstep (the
+// *MatchesSerial tests pin each against the serial algorithm).
+func declusterRowsGroup(out []int32, outWidth, outOff int, values []int32, width int, ids []OID, borders []bat.Border, window int, s *Scratch) error {
+	n := len(ids)
+	cur := s.Ints(2 * len(borders))
+	m := 0
+	minID := uint64(0)
+	for _, b := range borders {
+		if b.Size() > 0 {
+			if m == 0 || uint64(ids[b.Start]) < minID {
+				minID = uint64(ids[b.Start])
+			}
+			cur[2*m], cur[2*m+1] = b.Start, b.End
+			m++
+		}
+	}
+	for windowLimit := (minID/uint64(window))*uint64(window) + uint64(window); m > 0; windowLimit += uint64(window) {
+		for i := 0; i < m; i++ {
+			start, end := cur[2*i], cur[2*i+1]
+			for start < end {
+				id := ids[start]
+				if uint64(id) >= windowLimit {
+					break
+				}
+				if int(id) >= n {
+					return fmt.Errorf("core: DeclusterRowsInto: id %d out of range [0,%d)", id, n)
+				}
+				copy(out[int(id)*outWidth+outOff:int(id)*outWidth+outOff+width],
+					values[start*width:(start+1)*width])
+				start++
+			}
+			cur[2*i] = start
+			if start >= end {
+				m--
+				cur[2*i], cur[2*i+1] = cur[2*m], cur[2*m+1]
+				i--
+			}
+		}
+	}
+	return nil
+}

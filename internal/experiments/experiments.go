@@ -48,11 +48,10 @@ type Config struct {
 	Quick bool
 	// Seed for workload generation.
 	Seed uint64
-	// Parallelism runs the DSM post-projection strategy on the
-	// morsel-driven parallel executor (internal/exec): 0 = the
-	// paper's serial mode, n >= 1 = n workers, -1 = the planner
-	// decides. Results are byte-identical either way; only the
-	// measured times change.
+	// Parallelism runs every strategy on the morsel-driven parallel
+	// executor (internal/exec): 0 = the paper's serial mode, n >= 1 =
+	// n workers, -1 = the planner decides per strategy. Results are
+	// byte-identical either way; only the measured times change.
 	Parallelism int
 }
 

@@ -256,6 +256,38 @@ func (t *rowTable) probeRows(larger []int32, lw, lkey int, out []int32) []int32 
 	return out
 }
 
+// RowTable is an exported handle over the wide-tuple hash table: the
+// parallel executor builds it once over the smaller relation and
+// probes chunks of the larger relation concurrently (probing is
+// read-only, so chunk probes can run on any worker).
+type RowTable struct{ t *rowTable }
+
+// BuildRowsTable hashes width-wide smaller tuples on their key column;
+// shift discards hash bits consumed by a radix partitioning (0 for the
+// naive join).
+func BuildRowsTable(rows []int32, width, key int, shift uint) (*RowTable, error) {
+	if err := checkRows(rows, width, key); err != nil {
+		return nil, err
+	}
+	return &RowTable{t: buildRowTable(rows, width, key, shift)}, nil
+}
+
+// ProbeRows joins larger wide tuples against the table, appending
+// [larger payload | smaller payload] rows to out in probe order and
+// returning the extended slice. Matches per probe follow chain order,
+// exactly as the serial HashRows loop emits them.
+func (t *RowTable) ProbeRows(larger []int32, lw, lkey int, out []int32) []int32 {
+	return t.t.probeRows(larger, lw, lkey, out)
+}
+
+// ProbeRowsPartition builds a hash table on one partition of the
+// smaller wide tuples and probes it with the matching larger
+// partition, appending result rows to out in probe order — the
+// per-partition morsel of the parallel pre-projection joins.
+func ProbeRowsPartition(smaller []int32, sw, skey int, larger []int32, lw, lkey int, shift uint, out []int32) []int32 {
+	return buildRowTable(smaller, sw, skey, shift).probeRows(larger, lw, lkey, out)
+}
+
 // HashRows is the pre-projection naive Hash-Join over wide tuples
 // ("NSM-pre-hash" in Figure 10): the projection columns travel as
 // extra luggage through an unpartitioned join.

@@ -80,13 +80,20 @@ func (r *Relation) TupleBytes() int { return 4 * r.Width }
 // post-projection strategies obtain the join-key column before
 // computing the join-index.
 func (r *Relation) ScanColumn(col int) []int32 {
-	n := r.Len()
-	out := make([]int32, n)
+	out := make([]int32, r.Len())
+	r.ScanColumnInto(out, col, 0, r.Len())
+	return out
+}
+
+// ScanColumnInto is the chunk-safe kernel behind ScanColumn: it
+// extracts attribute col of records [lo,hi) into out[lo:hi]. Chunks of
+// one scan write disjoint ranges of out, so the parallel executor can
+// hand record ranges to different workers.
+func (r *Relation) ScanColumnInto(out []int32, col, lo, hi int) {
 	w := r.Width
-	for i, p := 0, col; i < n; i, p = i+1, p+w {
+	for i, p := lo, lo*w+col; i < hi; i, p = i+1, p+w {
 		out[i] = r.Data[p]
 	}
-	return out
 }
 
 // ProjectRecord copies the attributes named by cols out of record i
@@ -104,12 +111,19 @@ func (r *Relation) ProjectRecord(dst []int32, i int, cols []int) {
 // Pre-projection strategies use this to build the wide tuples that
 // travel through the join.
 func (r *Relation) ScanProject(name string, cols []int) *Relation {
-	n := r.Len()
-	out := New(name, n, len(cols))
-	for i := 0; i < n; i++ {
+	out := New(name, r.Len(), len(cols))
+	r.ScanProjectInto(out, 0, r.Len(), cols)
+	return out
+}
+
+// ScanProjectInto is the chunk-safe kernel behind ScanProject: it
+// projects records [lo,hi) of r into the matching records of out
+// (which must be len(cols) wide and at least hi records long). Chunks
+// of one scan write disjoint record ranges of out.
+func (r *Relation) ScanProjectInto(out *Relation, lo, hi int, cols []int) {
+	for i := lo; i < hi; i++ {
 		r.ProjectRecord(out.Record(i), i, cols)
 	}
-	return out
 }
 
 // Gather builds a new relation from the records of r selected by oids
@@ -173,10 +187,18 @@ func AppendFields(name string, a, b *Relation) (*Relation, error) {
 		return nil, fmt.Errorf("nsm: AppendFields: %d vs %d records", a.Len(), b.Len())
 	}
 	out := New(name, a.Len(), a.Width+b.Width)
-	for i := 0; i < a.Len(); i++ {
+	AppendFieldsInto(out, a, b, 0, a.Len())
+	return out, nil
+}
+
+// AppendFieldsInto is the chunk-safe kernel behind AppendFields: it
+// glues records [lo,hi) of a and b side by side into the matching
+// records of out (of width a.Width+b.Width). Chunks of one assembly
+// write disjoint record ranges of out.
+func AppendFieldsInto(out, a, b *Relation, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		rec := out.Record(i)
 		copy(rec, a.Record(i))
 		copy(rec[a.Width:], b.Record(i))
 	}
-	return out, nil
 }

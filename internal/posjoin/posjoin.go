@@ -75,17 +75,25 @@ func Clustered(col []int32, oids []OID, borders []bat.Border) ([]int32, error) {
 		return nil, err
 	}
 	out := make([]int32, len(oids))
-	n := uint32(len(col))
-	for _, b := range borders {
-		for i := b.Start; i < b.End; i++ {
-			o := oids[i]
-			if o >= n {
-				return nil, fmt.Errorf("posjoin: oid %d out of range [0,%d)", o, n)
-			}
-			out[i] = col[o]
-		}
+	if err := ClusteredInto(out, col, oids, borders); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// ClusteredInto is the chunk-safe kernel behind Clustered: it gathers
+// the clusters listed in borders into the matching [Start,End) ranges
+// of out. The parallel executor hands disjoint border groups of one
+// clustering to different workers; each call writes only the ranges
+// its borders name, so concurrent calls over a partition of the
+// borders never overlap.
+func ClusteredInto(out, col []int32, oids []OID, borders []bat.Border) error {
+	for _, b := range borders {
+		if err := FetchInto(out[b.Start:b.End], col, oids[b.Start:b.End]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // FetchMany runs one Positional-Join per projection column — the

@@ -249,6 +249,25 @@ func ClusterRows(rows []int32, width, keyCol int, o Opts) (*RowsResult, error) {
 	return &RowsResult{Rows: out, Width: width, Offsets: offsets}, nil
 }
 
+// ClusterRowsPrehashed is ClusterRows with caller-precomputed radix
+// values: rad[i] is the clustering value of record i. The parallel
+// executor's two-level scheme uses it so the per-partition refinement
+// pass reuses the hashes computed for the fan-out pass instead of
+// re-hashing every record. rows is not modified.
+func ClusterRowsPrehashed(rad []uint32, rows []int32, width int, o Opts) (*RowsResult, error) {
+	if width <= 0 || len(rows)%width != 0 {
+		return nil, fmt.Errorf("radix: ClusterRowsPrehashed: %d values is not a multiple of width %d", len(rows), width)
+	}
+	if len(rad) != len(rows)/width {
+		return nil, fmt.Errorf("radix: ClusterRowsPrehashed: %d rad values for %d records", len(rad), len(rows)/width)
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	out, offsets := clusterRows(rad, rows, width, o)
+	return &RowsResult{Rows: out, Width: width, Offsets: offsets}, nil
+}
+
 // Count is the radix_count operator of Figure 4: it analyses a
 // (partially) radix-clustered oid column and returns the actual
 // cluster borders, which Radix-Decluster needs to initialise its

@@ -2,9 +2,9 @@ package strategy
 
 import (
 	"fmt"
-	"time"
 
 	"radixdecluster/internal/core"
+	"radixdecluster/internal/exec"
 	"radixdecluster/internal/jive"
 	"radixdecluster/internal/join"
 	"radixdecluster/internal/mem"
@@ -37,12 +37,12 @@ func (s NSMSide) validate(name string) error {
 
 // scanWide extracts the [key | π] wide tuples of an NSM
 // pre-projection scan, record at a time (the paper's "NSM projection
-// routine").
-func (s NSMSide) scanWide() ([]int32, int) {
+// routine"), chunked on the engine.
+func (s NSMSide) scanWide(e *exec.Engine) ([]int32, int) {
 	cols := make([]int, 0, len(s.ProjCols)+1)
 	cols = append(cols, s.KeyCol)
 	cols = append(cols, s.ProjCols...)
-	rel := s.Rel.ScanProject(s.Rel.Name+"_wide", cols)
+	rel := e.ScanProject(s.Rel, s.Rel.Name+"_wide", cols)
 	return rel.Data, rel.Width
 }
 
@@ -57,30 +57,46 @@ func NSMPre(larger, smaller NSMSide, partitioned bool, cfg Config) (*Result, err
 	if err := smaller.validate("smaller"); err != nil {
 		return nil, err
 	}
-	res := &Result{LargerMethod: 'p', SmallerMethod: 'p'}
-	start := time.Now()
-	t := time.Now()
-	lRows, lw := larger.scanWide()
-	sRows, sw := smaller.scanWide()
-	res.Phases.Scan = time.Since(t)
-
-	t = time.Now()
-	var rr *join.RowsResult
-	var err error
+	lw, sw := 1+len(larger.ProjCols), 1+len(smaller.ProjCols)
+	var jo radix.Opts
 	if partitioned {
-		jo := joinOpts(cfg, smaller.Rel.Len(), sw*4)
-		res.JoinBits = jo.Bits
-		rr, err = join.PartitionedRows(lRows, lw, 0, sRows, sw, 0, jo)
-	} else {
-		rr, err = join.HashRows(lRows, lw, 0, sRows, sw, 0)
+		jo = joinOpts(cfg, smaller.Rel.Len(), sw*4)
 	}
+	pl := cfg.pipelineFor(larger.Rel.Len()+smaller.Rel.Len(), func() int {
+		return planParallelismRows(larger.Rel.Len(), smaller.Rel.Len(), lw, sw, jo.Bits, cfg)
+	})
+	defer pl.Close()
+	res := &Result{LargerMethod: 'p', SmallerMethod: 'p', Workers: pl.Workers()}
+	if partitioned {
+		res.JoinBits = jo.Bits
+	}
+
+	var lRows, sRows []int32
+	pl.Then(exec.PhaseScan, "nsm-scan-project", func(e *exec.Engine) error {
+		lRows, _ = larger.scanWide(e)
+		sRows, _ = smaller.scanWide(e)
+		return nil
+	})
+	pl.Then(exec.PhaseJoin, "rows-join", func(e *exec.Engine) error {
+		var rr *join.RowsResult
+		var err error
+		if partitioned {
+			rr, err = e.PartitionedRowsJoin(lRows, lw, 0, sRows, sw, 0, jo)
+		} else {
+			rr, err = e.HashRowsJoin(lRows, lw, 0, sRows, sw, 0)
+		}
+		if err != nil {
+			return err
+		}
+		res.Rows, res.RowWidth = rr.Rows, rr.Width
+		res.N = rr.Len()
+		return nil
+	})
+	tm, err := pl.Execute()
 	if err != nil {
 		return nil, err
 	}
-	res.Phases.Join = time.Since(t)
-	res.Rows, res.RowWidth = rr.Rows, rr.Width
-	res.N = rr.Len()
-	res.Phases.Total = time.Since(start)
+	res.Phases = phasesFromTimings(tm)
 	return res, nil
 }
 
@@ -101,51 +117,11 @@ func NSMPostDecluster(larger, smaller NSMSide, cfg Config) (*Result, error) {
 	}
 	h := cfg.hier()
 	c := h.LLC().Size
-	res := &Result{LargerMethod: PartialCluster, SmallerMethod: Declustered}
-	start := time.Now()
-
-	// Key extraction scans.
-	t := time.Now()
-	lKeys := larger.Rel.ScanColumn(larger.KeyCol)
-	sKeys := smaller.Rel.ScanColumn(smaller.KeyCol)
-	lOIDs := denseOIDs(larger.Rel.Len())
-	sOIDs := denseOIDs(smaller.Rel.Len())
-	res.Phases.Scan = time.Since(t)
-
-	jo := joinOpts(cfg, smaller.Rel.Len(), 4)
-	res.JoinBits = jo.Bits
-	t = time.Now()
-	ji, err := join.Partitioned(lOIDs, lKeys, sOIDs, sKeys, jo)
-	if err != nil {
-		return nil, err
-	}
-	res.Phases.Join = time.Since(t)
-	res.N = ji.Len()
-
 	piL, piS := len(larger.ProjCols), len(smaller.ProjCols)
-	res.RowWidth = piL + piS
-	res.Rows = make([]int32, res.N*res.RowWidth)
 
-	// Larger side: partial-cluster the join-index so each cluster's
-	// record span fits the cache (tuple width counts!), then gather
-	// the projected fields straight into the result records.
+	// Assembly-time planner decisions (identical on every engine).
+	jo := joinOpts(cfg, smaller.Rel.Len(), 4)
 	po := projOpts(cfg.LargerBits, larger.Rel.Len(), larger.Rel.TupleBytes(), c)
-	res.LargerBits = po.Bits
-	t = time.Now()
-	cl, err := radix.ClusterOIDPairs(ji.Larger, ji.Smaller, po)
-	if err != nil {
-		return nil, err
-	}
-	res.Phases.ReorderJI = time.Since(t)
-	t = time.Now()
-	if err := larger.Rel.GatherProjectInto(res.Rows, res.RowWidth, 0, cl.Key, larger.ProjCols); err != nil {
-		return nil, err
-	}
-	res.Phases.ProjectLarger = time.Since(t)
-
-	// Smaller side: re-cluster on the smaller oid, gather the fields
-	// in clustered order, then Radix-Decluster whole projected records
-	// into the result.
 	window := cfg.Window
 	if window == 0 {
 		w := piS * 4
@@ -154,7 +130,6 @@ func NSMPostDecluster(larger, smaller NSMSide, cfg Config) (*Result, error) {
 		}
 		window = core.PlanWindow(h, w)
 	}
-	res.Window = window
 	so := projOpts(cfg.SmallerBits, smaller.Rel.Len(), smaller.Rel.TupleBytes(), c)
 	if maxB := core.MaxBitsForWindow(window); so.Bits > maxB {
 		so = radix.Opts{Bits: maxB, Ignore: mem.Log2Ceil(smaller.Rel.Len()) - maxB}
@@ -162,26 +137,83 @@ func NSMPostDecluster(larger, smaller NSMSide, cfg Config) (*Result, error) {
 			so.Ignore = 0
 		}
 	}
-	res.SmallerBits = so.Bits
-	t = time.Now()
-	cl2, err := core.ClusterForDecluster(cl.Other, so)
+
+	pl := cfg.pipelineFor(larger.Rel.Len()+smaller.Rel.Len(), func() int {
+		return planParallelismNSMPost(larger.Rel.Len(),
+			max(larger.Rel.Len(), smaller.Rel.Len()),
+			max(larger.Rel.TupleBytes(), smaller.Rel.TupleBytes()),
+			max(piL, piS)*4, po.Bits, window, cfg)
+	})
+	defer pl.Close()
+	res := &Result{
+		LargerMethod: PartialCluster, SmallerMethod: Declustered,
+		Workers: pl.Workers(), JoinBits: jo.Bits,
+		LargerBits: po.Bits, SmallerBits: so.Bits, Window: window,
+	}
+
+	// Key extraction scans.
+	var lKeys, sKeys []int32
+	var lOIDs, sOIDs []OID
+	pl.Then(exec.PhaseScan, "key-extraction", func(e *exec.Engine) error {
+		lKeys = e.ScanColumn(larger.Rel, larger.KeyCol)
+		sKeys = e.ScanColumn(smaller.Rel, smaller.KeyCol)
+		lOIDs = denseOIDs(larger.Rel.Len())
+		sOIDs = denseOIDs(smaller.Rel.Len())
+		return nil
+	})
+	var ji *join.Index
+	pl.Then(exec.PhaseJoin, "partitioned-hash-join", func(e *exec.Engine) error {
+		var err error
+		ji, err = e.PartitionedJoin(lOIDs, lKeys, sOIDs, sKeys, jo)
+		if err != nil {
+			return err
+		}
+		res.N = ji.Len()
+		return nil
+	})
+
+	// Larger side: partial-cluster the join-index so each cluster's
+	// record span fits the cache (tuple width counts!), then gather
+	// the projected fields straight into the result records.
+	var cl *radix.OIDPairsResult
+	pl.Then(exec.PhaseReorder, "partial-cluster-join-index", func(e *exec.Engine) error {
+		var err error
+		cl, err = e.ClusterOIDPairs(ji.Larger, ji.Smaller, po)
+		return err
+	})
+	pl.Then(exec.PhaseProjectLarger, "gather-larger", func(e *exec.Engine) error {
+		res.RowWidth = piL + piS
+		res.Rows = make([]int32, res.N*res.RowWidth)
+		return e.GatherProjectInto(larger.Rel, res.Rows, res.RowWidth, 0, cl.Key, larger.ProjCols)
+	})
+
+	// Smaller side: re-cluster on the smaller oid, gather the fields
+	// in clustered order, then Radix-Decluster whole projected records
+	// into the result. With nothing to project the whole side is
+	// skipped (the clustering output would go unread).
+	if piS > 0 {
+		var cl2 *core.Clustered
+		pl.Then(exec.PhaseReorder, "recluster-smaller", func(e *exec.Engine) error {
+			var err error
+			cl2, err = e.ClusterForDecluster(cl.Other, so)
+			return err
+		})
+		var clustered *nsm.Relation
+		pl.Then(exec.PhaseProjectSmaller, "gather-smaller", func(e *exec.Engine) error {
+			var err error
+			clustered, err = e.GatherProject(smaller.Rel, "sproj", cl2.SmallerOIDs, smaller.ProjCols)
+			return err
+		})
+		pl.Then(exec.PhaseDecluster, "radix-decluster-rows", func(e *exec.Engine) error {
+			return e.DeclusterRowsInto(res.Rows, res.RowWidth, piL,
+				clustered.Data, piS, cl2.ResultPos, cl2.Borders, window)
+		})
+	}
+	tm, err := pl.Execute()
 	if err != nil {
 		return nil, err
 	}
-	res.Phases.ReorderJI += time.Since(t)
-	if piS > 0 {
-		t = time.Now()
-		clustered := smaller.Rel.GatherProject("sproj", cl2.SmallerOIDs, smaller.ProjCols)
-		res.Phases.ProjectSmaller = time.Since(t)
-		t = time.Now()
-		err = core.DeclusterRowsInto(res.Rows, res.RowWidth, piL,
-			clustered.Data, piS, cl2.ResultPos, cl2.Borders, window)
-		if err != nil {
-			return nil, err
-		}
-		res.Phases.Decluster = time.Since(t)
-	}
-	res.Phases.Total = time.Since(start)
+	res.Phases = phasesFromTimings(tm)
 	return res, nil
 }
 
@@ -197,70 +229,90 @@ func NSMPostJive(larger, smaller NSMSide, jiveBits int, cfg Config) (*Result, er
 		return nil, err
 	}
 	h := cfg.hier()
-	res := &Result{LargerMethod: 'j', SmallerMethod: 'j'}
-	start := time.Now()
-
-	t := time.Now()
-	lKeys := larger.Rel.ScanColumn(larger.KeyCol)
-	sKeys := smaller.Rel.ScanColumn(smaller.KeyCol)
-	lOIDs := denseOIDs(larger.Rel.Len())
-	sOIDs := denseOIDs(smaller.Rel.Len())
-	res.Phases.Scan = time.Since(t)
-
 	jo := joinOpts(cfg, smaller.Rel.Len(), 4)
-	res.JoinBits = jo.Bits
-	t = time.Now()
-	ji, err := join.Partitioned(lOIDs, lKeys, sOIDs, sKeys, jo)
-	if err != nil {
-		return nil, err
+	projBytes := len(smaller.ProjCols) * 4
+	if projBytes == 0 {
+		projBytes = 4
 	}
-	res.Phases.Join = time.Since(t)
-	res.N = ji.Len()
+	pl := cfg.pipelineFor(larger.Rel.Len()+smaller.Rel.Len(), func() int {
+		bits := jiveBits
+		if bits == 0 {
+			bits = radix.OptimalBits(larger.Rel.Len(), projBytes, h.LLC().Size)
+		}
+		return planParallelismJive(larger.Rel.Len(), larger.Rel.Len(), smaller.Rel.Len(),
+			max(larger.Rel.TupleBytes(), smaller.Rel.TupleBytes()), projBytes, bits, cfg)
+	})
+	defer pl.Close()
+	res := &Result{LargerMethod: 'j', SmallerMethod: 'j', Workers: pl.Workers(), JoinBits: jo.Bits}
+
+	var lKeys, sKeys []int32
+	var lOIDs, sOIDs []OID
+	pl.Then(exec.PhaseScan, "key-extraction", func(e *exec.Engine) error {
+		lKeys = e.ScanColumn(larger.Rel, larger.KeyCol)
+		sKeys = e.ScanColumn(smaller.Rel, smaller.KeyCol)
+		lOIDs = denseOIDs(larger.Rel.Len())
+		sOIDs = denseOIDs(smaller.Rel.Len())
+		return nil
+	})
+	var ji *join.Index
+	pl.Then(exec.PhaseJoin, "partitioned-hash-join", func(e *exec.Engine) error {
+		var err error
+		ji, err = e.PartitionedJoin(lOIDs, lKeys, sOIDs, sKeys, jo)
+		if err != nil {
+			return err
+		}
+		res.N = ji.Len()
+		return nil
+	})
 
 	// Jive requires the join-index sorted on the left table's oids.
-	t = time.Now()
-	srt, err := radix.SortOIDPairs(ji.Larger, ji.Smaller, h)
-	if err != nil {
-		return nil, err
-	}
-	sorted := &join.Index{Larger: srt.Key, Smaller: srt.Other}
-	res.Phases.ReorderJI = time.Since(t)
-
-	if jiveBits == 0 {
-		// Size the fan-out so one cluster's result write-back region
-		// (right-phase random access) fits the cache.
-		w := len(smaller.ProjCols) * 4
-		if w == 0 {
-			w = 4
+	var sorted *join.Index
+	pl.Then(exec.PhaseReorder, "sort-join-index", func(e *exec.Engine) error {
+		srt, err := e.SortOIDPairs(ji.Larger, ji.Smaller, h)
+		if err != nil {
+			return err
 		}
-		jiveBits = radix.OptimalBits(res.N, w, h.LLC().Size)
-	}
-	res.SmallerBits = jiveBits
+		sorted = &join.Index{Larger: srt.Key, Smaller: srt.Other}
+		return nil
+	})
 
-	t = time.Now()
-	lr, err := jive.LeftRows(sorted, larger.Rel, larger.ProjCols, smaller.Rel.Len(), jiveBits)
+	var lr *jive.LeftRowsResult
+	pl.Then(exec.PhaseProjectLarger, "jive-left", func(e *exec.Engine) error {
+		bits := jiveBits
+		if bits == 0 {
+			// Size the fan-out so one cluster's result write-back region
+			// (right-phase random access) fits the cache.
+			bits = radix.OptimalBits(res.N, projBytes, h.LLC().Size)
+		}
+		res.SmallerBits = bits
+		var err error
+		lr, err = e.JiveLeft(sorted, larger.Rel, larger.ProjCols, smaller.Rel.Len(), bits)
+		return err
+	})
+	var rr *nsm.Relation
+	pl.Then(exec.PhaseProjectSmaller, "jive-right", func(e *exec.Engine) error {
+		var err error
+		rr, err = e.JiveRight(lr, smaller.Rel, smaller.ProjCols)
+		return err
+	})
+	pl.Then(exec.PhaseDecluster, "assemble-result", func(e *exec.Engine) error {
+		// Result assembly, kept out of the projection phases.
+		combined, err := e.AppendFields("result", lr.LeftRows, rr)
+		if err != nil {
+			return err
+		}
+		res.Rows, res.RowWidth = combined.Data, combined.Width
+		return nil
+	})
+	tm, err := pl.Execute()
 	if err != nil {
 		return nil, err
 	}
-	res.Phases.ProjectLarger = time.Since(t)
-	t = time.Now()
-	rr, err := jive.RightRows(lr, smaller.Rel, smaller.ProjCols)
-	if err != nil {
-		return nil, err
-	}
-	res.Phases.ProjectSmaller = time.Since(t)
-
-	t = time.Now()
-	combined, err := nsm.AppendFields("result", lr.LeftRows, rr)
-	if err != nil {
-		return nil, err
-	}
-	res.Phases.Decluster = time.Since(t) // assembly, kept out of the projection phases
-	res.Rows, res.RowWidth = combined.Data, combined.Width
-	res.Phases.Total = time.Since(start)
+	res.Phases = phasesFromTimings(tm)
 	return res, nil
 }
 
+// denseOIDs materialises the dense [0,n) oid column of a base scan.
 func denseOIDs(n int) []OID {
 	out := make([]OID, n)
 	for i := range out {

@@ -1,0 +1,100 @@
+package strategy
+
+// Planner glue between the strategies and the cost model's
+// serial-vs-parallel decisions. Every strategy resolves
+// Config.Parallelism the same way: an explicit worker count is taken
+// as-is, AutoParallelism asks the matching costmodel.ChooseParallelism*
+// formula — the modeled elapsed time across worker counts up to
+// runtime.GOMAXPROCS, including the per-core cache-share shrinkage and
+// the shared memory-bandwidth ceiling — and 0 stays on the serial
+// paper path. Inputs below the executor's serial-fallback threshold
+// (exec.MinParallelN) never spin up a pool: every operator would fall
+// back to serial code anyway, so the run reports Workers = 0.
+
+import (
+	"runtime"
+
+	"radixdecluster/internal/core"
+	"radixdecluster/internal/costmodel"
+	"radixdecluster/internal/exec"
+	"radixdecluster/internal/radix"
+)
+
+// PlanParallelism runs the cost model's serial-vs-parallel decision
+// for a DSM post-projection of the given shape. It returns the
+// winning worker count (1 = stay serial).
+func PlanParallelism(nJI, baseN, pi int, cfg Config) int {
+	h := cfg.hier()
+	c := h.LLC().Size
+	bits := cfg.LargerBits
+	if bits == 0 {
+		bits = radix.OptimalBits(baseN, 4, c)
+	}
+	window := cfg.Window
+	if window == 0 {
+		window = core.PlanWindow(h, 4)
+	}
+	m := costmodel.Model{H: h}
+	return costmodel.ChooseParallelism(m, runtime.GOMAXPROCS(0),
+		nJI, baseN, 4, max(1, bits), max(1, pi), window)
+}
+
+// planParallelismRows is the decision for the pre-projection
+// strategies (DSM-pre and both NSM-pre variants): nL/nS input
+// cardinalities, lw/sw wide-tuple widths in fields, bits the join
+// partitioning fan-out (0 = naive hash join).
+func planParallelismRows(nL, nS, lw, sw, bits int, cfg Config) int {
+	m := costmodel.Model{H: cfg.hier()}
+	return costmodel.ChooseParallelismRows(m, runtime.GOMAXPROCS(0),
+		nL, nS, lw*4, sw*4, bits)
+}
+
+// planParallelismNSMPost is the decision for NSM post-projection with
+// the Radix algorithms.
+func planParallelismNSMPost(nJI, baseN, omegaBytes, projBytes, bits, window int, cfg Config) int {
+	m := costmodel.Model{H: cfg.hier()}
+	return costmodel.ChooseParallelismNSMPost(m, runtime.GOMAXPROCS(0),
+		nJI, baseN, omegaBytes, projBytes, max(1, bits), window)
+}
+
+// planParallelismJive is the decision for NSM post-projection with
+// Jive-Join.
+func planParallelismJive(nJI, leftN, rightN, omegaBytes, projBytes, bits int, cfg Config) int {
+	m := costmodel.Model{H: cfg.hier()}
+	return costmodel.ChooseParallelismJive(m, runtime.GOMAXPROCS(0),
+		nJI, leftN, rightN, omegaBytes, projBytes, max(1, bits))
+}
+
+// pipelineFor resolves cfg.Parallelism into a pipeline for one
+// strategy run. plan supplies the strategy's cost-model decision
+// (consulted only for AutoParallelism); joinInput is the total join
+// input cardinality gating pool creation against exec.MinParallelN.
+func (c Config) pipelineFor(joinInput int, plan func() int) *exec.Pipeline {
+	w := 0
+	switch {
+	case c.Parallelism >= 1:
+		w = c.Parallelism
+	case c.Parallelism == AutoParallelism:
+		if pw := plan(); pw > 1 {
+			w = pw
+		}
+	}
+	if w > 0 && joinInput < exec.MinParallelN {
+		w = 0
+	}
+	return exec.NewPipeline(w)
+}
+
+// phasesFromTimings maps the pipeline's per-kind buckets onto the
+// paper's wall-clock breakdown.
+func phasesFromTimings(t exec.Timings) Phases {
+	return Phases{
+		Scan:           t.ByKind[exec.PhaseScan],
+		Join:           t.ByKind[exec.PhaseJoin],
+		ReorderJI:      t.ByKind[exec.PhaseReorder],
+		ProjectLarger:  t.ByKind[exec.PhaseProjectLarger],
+		ProjectSmaller: t.ByKind[exec.PhaseProjectSmaller],
+		Decluster:      t.ByKind[exec.PhaseDecluster],
+		Total:          t.Total,
+	}
+}

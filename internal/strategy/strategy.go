@@ -18,8 +18,14 @@
 //     scans extract [key|π] wide tuples, joined partitioned or naive.
 //   - NSM post-projection with Radix-Decluster and with Jive-Join.
 //
-// Every run returns a phase-by-phase wall-clock breakdown and the
-// parameters (radix bits, window) the planner chose.
+// Every strategy is assembled as a phase pipeline on the shared
+// execution engine (internal/exec): the strategy function makes the
+// planner decisions (methods, radix bits, window, worker count) and
+// lists the phases; the pipeline runs them — serially in the paper's
+// single-threaded mode, or morsel-driven parallel when
+// Config.Parallelism selects workers — with byte-identical results
+// either way. Every run returns a phase-by-phase wall-clock breakdown
+// and the parameters (radix bits, window) the planner chose.
 package strategy
 
 import (
@@ -31,7 +37,6 @@ import (
 	"radixdecluster/internal/exec"
 	"radixdecluster/internal/join"
 	"radixdecluster/internal/mem"
-	"radixdecluster/internal/posjoin"
 	"radixdecluster/internal/radix"
 )
 
@@ -80,30 +85,14 @@ type Config struct {
 	SmallerBits int
 	// Window overrides the Radix-Decluster insertion window (tuples).
 	Window int
-	// Parallelism selects the execution engine for DSMPost: 0 = the
-	// paper's serial single-threaded mode (default), n >= 1 =
-	// morsel-driven parallel execution (internal/exec) with n
-	// workers, AutoParallelism = the planner decides. Parallel runs
-	// produce output byte-identical to serial runs. The other
-	// strategies (DSMPre and the NSM plans) currently ignore the
-	// setting.
+	// Parallelism selects the execution engine for every strategy:
+	// 0 = the paper's serial single-threaded mode (default), n >= 1 =
+	// morsel-driven parallel execution (internal/exec) with n workers,
+	// AutoParallelism = the planner decides per strategy from the cost
+	// model. All five strategies run as phase pipelines on the shared
+	// executor, and parallel runs produce output byte-identical to
+	// serial runs.
 	Parallelism int
-}
-
-// execWorkers resolves Parallelism into a worker count for the
-// parallel executor; 0 means "stay on the serial path".
-func (c Config) execWorkers(nJI, baseN, pi int) int {
-	switch {
-	case c.Parallelism >= 1:
-		return c.Parallelism
-	case c.Parallelism == AutoParallelism:
-		if w := PlanParallelism(nJI, baseN, pi, c); w > 1 {
-			return w
-		}
-		return 0
-	default:
-		return 0
-	}
 }
 
 func (c Config) hier() mem.Hierarchy {
@@ -250,6 +239,8 @@ func projOpts(override, baseN, tupleBytes, cacheBytes int) radix.Opts {
 
 // DSMPost runs the paper's headline strategy: DSM post-projection
 // with the given per-side methods (Auto to let the planner choose).
+// The assembly is a single phase pipeline; Config.Parallelism only
+// selects the engine the phases execute on.
 func DSMPost(larger, smaller DSMSide, lm, sm ProjMethod, cfg Config) (*Result, error) {
 	if err := larger.validate("larger"); err != nil {
 		return nil, err
@@ -257,82 +248,90 @@ func DSMPost(larger, smaller DSMSide, lm, sm ProjMethod, cfg Config) (*Result, e
 	if err := smaller.validate("smaller"); err != nil {
 		return nil, err
 	}
-	// The auto decision uses the same shape estimates as PlanJoin
-	// (radixdecluster.PlanJoin): result cardinality ≈ the larger
-	// input, π = the wider projection list. Below the executor's
-	// serial-fallback threshold every operator would run serially
-	// anyway, so stay on the serial path (and report Workers = 0)
-	// rather than spin up an idle pool.
-	if w := cfg.execWorkers(max(len(larger.OIDs), len(smaller.OIDs)),
-		max(larger.BaseN, smaller.BaseN),
-		max(len(larger.Cols), len(smaller.Cols))); w > 0 &&
-		len(larger.OIDs)+len(smaller.OIDs) >= exec.MinParallelN {
-		return dsmPostParallel(larger, smaller, lm, sm, cfg, w)
-	}
 	h := cfg.hier()
 	c := h.LLC().Size
-	res := &Result{}
-	start := time.Now()
+
+	// Assembly-time planner decisions: per-side methods, radix bits,
+	// insertion window. These are identical for every engine, so the
+	// reported plan never depends on the worker count.
+	lm = resolveLarger(lm, len(larger.Cols), larger.BaseN, c)
+	sm = resolveSmaller(sm, len(smaller.Cols), smaller.BaseN, c)
+	if lm != Unsorted && lm != SortedM && lm != PartialCluster {
+		return nil, fmt.Errorf("strategy: larger-side method %q (want u, s or c)", lm)
+	}
+	if sm != Unsorted && sm != Declustered {
+		return nil, fmt.Errorf("strategy: smaller-side method %q (want u or d)", sm)
+	}
+
+	// The auto decision uses the same shape estimates as PlanJoin
+	// (radixdecluster.PlanJoin): result cardinality ≈ the larger
+	// input, π = the wider projection list.
+	pl := cfg.pipelineFor(len(larger.OIDs)+len(smaller.OIDs), func() int {
+		return PlanParallelism(max(len(larger.OIDs), len(smaller.OIDs)),
+			max(larger.BaseN, smaller.BaseN),
+			max(len(larger.Cols), len(smaller.Cols)), cfg)
+	})
+	defer pl.Close()
+	res := &Result{Workers: pl.Workers(), LargerMethod: lm, SmallerMethod: sm}
 
 	// Phase 1: join-index via Partitioned Hash-Join on the key BATs.
 	jo := joinOpts(cfg, len(smaller.OIDs), 4)
 	res.JoinBits = jo.Bits
-	t := time.Now()
-	ji, err := join.Partitioned(larger.OIDs, larger.Keys, smaller.OIDs, smaller.Keys, jo)
-	if err != nil {
-		return nil, err
-	}
-	res.Phases.Join = time.Since(t)
-	res.N = ji.Len()
+	var ji *join.Index
+	pl.Then(exec.PhaseJoin, "partitioned-hash-join", func(e *exec.Engine) error {
+		var err error
+		ji, err = e.PartitionedJoin(larger.OIDs, larger.Keys, smaller.OIDs, smaller.Keys, jo)
+		if err != nil {
+			return err
+		}
+		res.N = ji.Len()
+		return nil
+	})
 
-	// Phase 2: larger-side projections. The reordering chosen here
-	// fixes the result order.
-	lm = resolveLarger(lm, len(larger.Cols), larger.BaseN, c)
-	res.LargerMethod = lm
-	largerOIDs := ji.Larger
-	smallerInResultOrder := ji.Smaller
+	// Phase 2: larger-side reordering — it fixes the result order.
+	var largerOIDs, smallerInResultOrder []OID
 	switch lm {
 	case Unsorted:
-		// Result order = join output order.
+		// Result order = join output order; nothing to reorder. The
+		// fetch-larger phase below picks the join-index up directly.
 	case SortedM:
-		t = time.Now()
-		srt, err := radix.SortOIDPairs(ji.Larger, ji.Smaller, h)
-		if err != nil {
-			return nil, err
-		}
-		res.Phases.ReorderJI = time.Since(t)
-		largerOIDs, smallerInResultOrder = srt.Key, srt.Other
+		pl.Then(exec.PhaseReorder, "radix-sort-join-index", func(e *exec.Engine) error {
+			srt, err := e.SortOIDPairs(ji.Larger, ji.Smaller, h)
+			if err != nil {
+				return err
+			}
+			largerOIDs, smallerInResultOrder = srt.Key, srt.Other
+			return nil
+		})
 	case PartialCluster:
 		po := projOpts(cfg.LargerBits, larger.BaseN, 4, c)
 		res.LargerBits = po.Bits
-		t = time.Now()
-		cl, err := radix.ClusterOIDPairs(ji.Larger, ji.Smaller, po)
-		if err != nil {
-			return nil, err
+		pl.Then(exec.PhaseReorder, "partial-cluster-join-index", func(e *exec.Engine) error {
+			cl, err := e.ClusterOIDPairs(ji.Larger, ji.Smaller, po)
+			if err != nil {
+				return err
+			}
+			largerOIDs, smallerInResultOrder = cl.Key, cl.Other
+			return nil
+		})
+	}
+	pl.Then(exec.PhaseProjectLarger, "fetch-larger", func(e *exec.Engine) error {
+		if lm == Unsorted {
+			largerOIDs, smallerInResultOrder = ji.Larger, ji.Smaller
 		}
-		res.Phases.ReorderJI = time.Since(t)
-		largerOIDs, smallerInResultOrder = cl.Key, cl.Other
-	default:
-		return nil, fmt.Errorf("strategy: larger-side method %q (want u, s or c)", lm)
-	}
-	t = time.Now()
-	res.LargerCols, err = posjoin.FetchMany(larger.Cols, largerOIDs)
-	if err != nil {
-		return nil, err
-	}
-	res.Phases.ProjectLarger = time.Since(t)
+		var err error
+		res.LargerCols, err = e.FetchMany(larger.Cols, largerOIDs)
+		return err
+	})
 
 	// Phase 3: smaller-side projections.
-	sm = resolveSmaller(sm, len(smaller.Cols), smaller.BaseN, c)
-	res.SmallerMethod = sm
 	switch sm {
 	case Unsorted:
-		t = time.Now()
-		res.SmallerCols, err = posjoin.FetchMany(smaller.Cols, smallerInResultOrder)
-		if err != nil {
-			return nil, err
-		}
-		res.Phases.ProjectSmaller = time.Since(t)
+		pl.Then(exec.PhaseProjectSmaller, "fetch-smaller", func(e *exec.Engine) error {
+			var err error
+			res.SmallerCols, err = e.FetchMany(smaller.Cols, smallerInResultOrder)
+			return err
+		})
 	case Declustered:
 		window := cfg.Window
 		if window == 0 {
@@ -348,31 +347,32 @@ func DSMPost(larger, smaller DSMSide, lm, sm ProjMethod, cfg Config) (*Result, e
 			}
 		}
 		res.SmallerBits = po.Bits
-		t = time.Now()
-		cl, err := core.ClusterForDecluster(smallerInResultOrder, po)
-		if err != nil {
-			return nil, err
-		}
-		res.Phases.ReorderJI += time.Since(t)
+		var cl *core.Clustered
+		pl.Then(exec.PhaseReorder, "recluster-smaller", func(e *exec.Engine) error {
+			var err error
+			cl, err = e.ClusterForDecluster(smallerInResultOrder, po)
+			return err
+		})
 		res.SmallerCols = make([][]int32, len(smaller.Cols))
-		for k, col := range smaller.Cols {
-			t = time.Now()
-			cv, err := posjoin.Clustered(col, cl.SmallerOIDs, cl.Borders)
-			if err != nil {
-				return nil, err
-			}
-			res.Phases.ProjectSmaller += time.Since(t)
-			t = time.Now()
-			res.SmallerCols[k], err = core.Decluster(cv, cl.ResultPos, cl.Borders, window)
-			if err != nil {
-				return nil, err
-			}
-			res.Phases.Decluster += time.Since(t)
+		for k := range smaller.Cols {
+			var cv []int32
+			pl.Then(exec.PhaseProjectSmaller, "fetch-clustered", func(e *exec.Engine) error {
+				var err error
+				cv, err = e.Clustered(smaller.Cols[k], cl.SmallerOIDs, cl.Borders)
+				return err
+			})
+			pl.Then(exec.PhaseDecluster, "radix-decluster", func(e *exec.Engine) error {
+				var err error
+				res.SmallerCols[k], err = e.Decluster(cv, cl.ResultPos, cl.Borders, window)
+				return err
+			})
 		}
-	default:
-		return nil, fmt.Errorf("strategy: smaller-side method %q (want u or d)", sm)
 	}
-	res.Phases.Total = time.Since(start)
+	tm, err := pl.Execute()
+	if err != nil {
+		return nil, err
+	}
+	res.Phases = phasesFromTimings(tm)
 	return res, nil
 }
 
@@ -387,41 +387,55 @@ func DSMPre(larger, smaller DSMSide, cfg Config) (*Result, error) {
 	if err := smaller.validate("smaller"); err != nil {
 		return nil, err
 	}
-	res := &Result{LargerMethod: 'p', SmallerMethod: 'p'}
-	start := time.Now()
-	t := time.Now()
-	lRows, lw := stitchRows(larger)
-	sRows, sw := stitchRows(smaller)
-	res.Phases.Scan = time.Since(t)
-
+	lw, sw := 1+len(larger.Cols), 1+len(smaller.Cols)
 	jo := joinOpts(cfg, len(smaller.OIDs), sw*4)
-	res.JoinBits = jo.Bits
-	t = time.Now()
-	rr, err := join.PartitionedRows(lRows, lw, 0, sRows, sw, 0, jo)
+	pl := cfg.pipelineFor(len(larger.OIDs)+len(smaller.OIDs), func() int {
+		return planParallelismRows(len(larger.OIDs), len(smaller.OIDs), lw, sw, jo.Bits, cfg)
+	})
+	defer pl.Close()
+	res := &Result{LargerMethod: 'p', SmallerMethod: 'p', Workers: pl.Workers(), JoinBits: jo.Bits}
+
+	var lRows, sRows []int32
+	pl.Then(exec.PhaseScan, "stitch-wide-tuples", func(e *exec.Engine) error {
+		lRows = stitchRows(e, larger)
+		sRows = stitchRows(e, smaller)
+		return nil
+	})
+	pl.Then(exec.PhaseJoin, "partitioned-rows-join", func(e *exec.Engine) error {
+		rr, err := e.PartitionedRowsJoin(lRows, lw, 0, sRows, sw, 0, jo)
+		if err != nil {
+			return err
+		}
+		res.Rows, res.RowWidth = rr.Rows, rr.Width
+		res.N = rr.Len()
+		return nil
+	})
+	tm, err := pl.Execute()
 	if err != nil {
 		return nil, err
 	}
-	res.Phases.Join = time.Since(t)
-	res.Rows, res.RowWidth = rr.Rows, rr.Width
-	res.N = rr.Len()
-	res.Phases.Total = time.Since(start)
+	res.Phases = phasesFromTimings(tm)
 	return res, nil
 }
 
 // stitchRows builds the [key | π columns] wide tuples of a
-// pre-projection scan, column at a time.
-func stitchRows(s DSMSide) ([]int32, int) {
+// pre-projection scan, column at a time, chunked on the engine
+// (chunks write disjoint record ranges).
+func stitchRows(e *exec.Engine, s DSMSide) []int32 {
 	n := len(s.OIDs)
 	w := 1 + len(s.Cols)
 	rows := make([]int32, n*w)
-	for i, k := range s.Keys {
-		rows[i*w] = k
-	}
-	for j, col := range s.Cols {
-		off := j + 1
-		for i, o := range s.OIDs {
-			rows[i*w+off] = col[o]
+	_ = e.ForRanges(n, func(r exec.Range) error {
+		for i := r.Lo; i < r.Hi; i++ {
+			rows[i*w] = s.Keys[i]
 		}
-	}
-	return rows, w
+		for j, col := range s.Cols {
+			off := j + 1
+			for i := r.Lo; i < r.Hi; i++ {
+				rows[i*w+off] = col[s.OIDs[i]]
+			}
+		}
+		return nil
+	})
+	return rows
 }

@@ -135,9 +135,9 @@ func TestParallelEquivalenceMethods(t *testing.T) {
 }
 
 // TestParallelEquivalenceAllStrategies runs every public strategy
-// with Parallelism set: the DSM strategies exercise the executor, the
-// NSM strategies must ignore the setting — either way the result must
-// match the serial run byte for byte.
+// with Parallelism set: since the phase-pipeline refactor all of them
+// — DSM post/pre and every NSM plan — execute on the shared executor,
+// and the result must match the serial run byte for byte.
 func TestParallelEquivalenceAllStrategies(t *testing.T) {
 	if testing.Short() {
 		t.Skip("equivalence matrix needs full-size relations")
@@ -156,6 +156,79 @@ func TestParallelEquivalenceAllStrategies(t *testing.T) {
 			Strategy: st,
 		}
 		requireParallelEqual(t, q, 2, st.String())
+	}
+}
+
+// TestParallelEquivalenceNonDSMPost is the full-size serial/parallel
+// byte-equivalence matrix for the strategies PR 1 left serial: NSM
+// pre (naive and partitioned), NSM post (Radix-Decluster and Jive)
+// and DSM pre-projection, across worker counts and workload shapes.
+func TestParallelEquivalenceNonDSMPost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence matrix needs full-size relations")
+	}
+	const pi = 2
+	strategies := []Strategy{DSMPre, NSMPreHash, NSMPrePhash, NSMPostDecluster, NSMPostJive}
+	workloads := []struct {
+		name string
+		p    workload.Params
+	}{
+		{"uniform", workload.Params{N: equivalenceN, Omega: pi + 1, HitRate: 1, SelLarger: 1, SelSmaller: 1, Seed: 52}},
+		{"expanding", workload.Params{N: equivalenceN / 2, Omega: pi + 1, HitRate: 3, SelLarger: 1, SelSmaller: 1, Seed: 53}},
+		{"skewed", workload.Params{N: equivalenceN, Omega: pi + 1, HitRate: 1, Skew: 1.1, SelLarger: 1, SelSmaller: 1, Seed: 54}},
+	}
+	for _, w := range workloads {
+		larger, smaller := workloadRelations(t, w.p, pi)
+		for _, st := range strategies {
+			q := JoinQuery{
+				Larger: larger, Smaller: smaller,
+				LargerKey: "key", SmallerKey: "key",
+				LargerProject: projNames(pi), SmallerProject: projNames(pi),
+				Strategy: st,
+			}
+			for _, par := range parallelismLevels() {
+				requireParallelEqual(t, q, par, fmt.Sprintf("%s/%s", w.name, st))
+			}
+		}
+	}
+}
+
+// TestParallelWorkersReported pins the engine bookkeeping: serial runs
+// report Workers = 0, parallel runs the pool size, and inputs below
+// the executor's serial-fallback threshold never spin up a pool.
+func TestParallelWorkersReported(t *testing.T) {
+	larger, smaller := workloadRelations(t,
+		workload.Params{N: 32 << 10, Omega: 2, HitRate: 1, SelLarger: 1, SelSmaller: 1, Seed: 55}, 1)
+	tiny, tinySmall := workloadRelations(t,
+		workload.Params{N: 1 << 10, Omega: 2, HitRate: 1, SelLarger: 1, SelSmaller: 1, Seed: 56}, 1)
+	for _, st := range []Strategy{DSMPostDecluster, DSMPre, NSMPrePhash, NSMPostDecluster, NSMPostJive} {
+		q := JoinQuery{
+			Larger: larger, Smaller: smaller,
+			LargerKey: "key", SmallerKey: "key",
+			LargerProject: projNames(1), SmallerProject: projNames(1),
+			Strategy: st,
+		}
+		res, err := ProjectJoin(q)
+		if err != nil {
+			t.Fatalf("%s serial: %v", st, err)
+		}
+		if res.Workers != 0 {
+			t.Fatalf("%s serial run reports %d workers", st, res.Workers)
+		}
+		q.Parallelism = 3
+		if res, err = ProjectJoin(q); err != nil {
+			t.Fatalf("%s parallel: %v", st, err)
+		}
+		if res.Workers != 3 {
+			t.Fatalf("%s parallel(3) run reports %d workers", st, res.Workers)
+		}
+		q.Larger, q.Smaller = tiny, tinySmall
+		if res, err = ProjectJoin(q); err != nil {
+			t.Fatalf("%s tiny: %v", st, err)
+		}
+		if res.Workers != 0 {
+			t.Fatalf("%s tiny input spun up %d workers below the fallback threshold", st, res.Workers)
+		}
 	}
 }
 

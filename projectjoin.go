@@ -95,14 +95,15 @@ type JoinQuery struct {
 	Strategy                    Strategy
 	LargerMethod, SmallerMethod ProjMethod
 	// Parallelism selects the execution engine: 0 (the default) is
-	// the paper's serial single-threaded mode; n >= 1 runs the DSM
-	// post-projection strategy on the morsel-driven parallel executor
-	// (internal/exec) with n workers; AutoParallelism lets the
-	// planner pick a worker count from the cost model and
-	// runtime.GOMAXPROCS. Parallel runs return results byte-identical
-	// to serial runs. The other strategies (DSM pre-projection and
-	// all NSM plans) currently ignore the setting and always run
-	// serially.
+	// the paper's serial single-threaded mode; n >= 1 runs the chosen
+	// strategy on the morsel-driven parallel executor (internal/exec)
+	// with n workers; AutoParallelism lets the planner pick a worker
+	// count per strategy from the cost model (which weighs the
+	// per-core cache share and the memory-bandwidth ceiling) and
+	// runtime.GOMAXPROCS. Every strategy — DSM post- and
+	// pre-projection and all NSM plans — executes as a phase pipeline
+	// on the shared executor, and parallel runs return results
+	// byte-identical to serial runs.
 	Parallelism int
 	// Hier drives all planning (zero value: the paper's Pentium 4).
 	Hier Hierarchy
@@ -128,11 +129,15 @@ type Timing struct {
 // first the larger side's projections, then the smaller side's, named
 // "<relation>.<column>".
 type Result struct {
-	N       int
-	Names   []string
-	Cols    [][]int32
-	Timing  Timing
-	Plan    string
+	N      int
+	Names  []string
+	Cols   [][]int32
+	Timing Timing
+	Plan   string
+	// Workers records the engine that executed the run: 0 = the
+	// paper's serial mode, n >= 1 = the morsel-driven executor with n
+	// workers.
+	Workers int
 	runInfo *strategy.Result
 }
 
@@ -270,7 +275,8 @@ func nsmSide(r *Relation, key string, proj []string) (strategy.NSMSide, error) {
 
 func buildResult(q JoinQuery, res *strategy.Result) (*Result, error) {
 	out := &Result{
-		N: res.N,
+		N:       res.N,
+		Workers: res.Workers,
 		Timing: Timing{
 			Scan: res.Phases.Scan, Join: res.Phases.Join, ReorderJI: res.Phases.ReorderJI,
 			ProjectLarger: res.Phases.ProjectLarger, ProjectSmaller: res.Phases.ProjectSmaller,
@@ -327,9 +333,11 @@ type Plan struct {
 	// strategy.
 	ModeledMs float64
 	// Parallelism is the worker count the planner would choose for
-	// this query on this machine (1 = stay serial): the modeled
-	// minimum of costmodel.DSMPostDeclusterParallel over worker
-	// counts up to runtime.GOMAXPROCS.
+	// this query's DSM post-projection plan on this machine (1 = stay
+	// serial): the modeled minimum over worker counts up to
+	// runtime.GOMAXPROCS, weighing linear work division against the
+	// shrinking per-core cache share and the memory-bandwidth ceiling
+	// (costmodel.ChooseParallelism).
 	Parallelism int
 	// ScalabilityLimit is the largest relation Radix-Decluster handles
 	// efficiently on this hierarchy (§6: C²/(32·width²)).

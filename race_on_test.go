@@ -1,0 +1,7 @@
+//go:build race
+
+package radixdecluster
+
+// raceEnabled reports whether the race detector instruments this
+// build; wall-clock assertions skip themselves under it.
+const raceEnabled = true
