@@ -6,14 +6,22 @@
 //
 // with a chosen strategy, printing result cardinality, the planner's
 // choices and the per-phase timing breakdown.
+//
+// With -concurrency N > 1 it fires N copies of the query at once
+// against a shared process-wide runtime (one worker pool, fair morsel
+// scheduling, admission control) and prints per-query and aggregate
+// throughput; add -baseline to also run the N queries sequentially on
+// per-query pools and report the aggregate speedup of sharing.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
+	"radixdecluster/internal/exec"
 	"radixdecluster/internal/mem"
 	"radixdecluster/internal/strategy"
 	"radixdecluster/internal/workload"
@@ -28,6 +36,9 @@ func main() {
 	lm := flag.String("lm", "", "larger-side method for dsm-post: u, s or c (empty = auto)")
 	sm := flag.String("sm", "", "smaller-side method for dsm-post: u or d (empty = auto)")
 	parallel := flag.Int("parallel", 0, "workers for the morsel-driven executor (all strategies): 0 = serial paper mode, -1 = planner decides per strategy")
+	concurrency := flag.Int("concurrency", 1, "queries to fire at once against the shared runtime (1 = single query)")
+	maxConcurrent := flag.Int("admit", 0, "admission bound of the shared runtime (0 = default)")
+	baseline := flag.Bool("baseline", false, "with -concurrency > 1: also run the queries sequentially on per-query pools and report the speedup")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	flag.Parse()
 
@@ -39,53 +50,142 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	cfg := strategy.Config{Hier: mem.Pentium4(), Parallelism: *parallel}
 	fmt.Printf("N=%d pi=%d h=%g sel=%g -> expecting %d result tuples\n",
 		*n, *pi, *hitRate, *sel, pr.ExpectedMatches)
 
-	start := time.Now()
-	var res *strategy.Result
+	runOnce := func(cfg strategy.Config) (*strategy.Result, error) {
+		return runStrategy(*strat, pr, *pi, *sel, *lm, *sm, cfg)
+	}
+
+	if *concurrency <= 1 {
+		cfg := strategy.Config{Hier: mem.Pentium4(), Parallelism: *parallel}
+		start := time.Now()
+		res, err := runOnce(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("strategy=%s result=%d tuples in %v\n", *strat, res.N, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("plan: joinbits=%d largerbits=%d smallerbits=%d window=%d methods=%v/%v workers=%d\n",
+			res.JoinBits, res.LargerBits, res.SmallerBits, res.Window, res.LargerMethod, res.SmallerMethod, res.Workers)
+		fmt.Printf("phases: %s\n", res.Phases)
+		return
+	}
+
+	// Parallelism 0 would make every concurrent query serial — the
+	// concurrency mode exists to exercise the shared executor, so
+	// default to the planner.
+	par := *parallel
+	if par == 0 {
+		par = strategy.AutoParallelism
+	}
+
+	// Materialize the workload's lazily-built images up front: the
+	// pair memoizes its projection columns and NSM image without
+	// synchronization, and the concurrent queries below share it.
 	switch *strat {
 	case "dsm-post", "dsm-pre":
+		pr.Larger.ProjCols(*pi)
+		pr.Smaller.ProjCols(*pi)
+	default:
+		pr.Larger.NSM()
+		pr.Smaller.NSM()
+	}
+
+	var seqElapsed time.Duration
+	if *baseline {
+		// The old world: each query owns a pool, one after another.
+		cfg := strategy.Config{Hier: mem.Pentium4(), Parallelism: par}
+		start := time.Now()
+		for i := 0; i < *concurrency; i++ {
+			if _, err := runOnce(cfg); err != nil {
+				fail(err)
+			}
+		}
+		seqElapsed = time.Since(start)
+		fmt.Printf("sequential: %d queries on per-query pools in %v (%.0f tuples/s aggregate)\n",
+			*concurrency, seqElapsed.Round(time.Millisecond),
+			float64(*concurrency)*float64(pr.ExpectedMatches)/seqElapsed.Seconds())
+	}
+
+	rt := exec.NewRuntime(0, *maxConcurrent)
+	defer rt.Close()
+	fmt.Printf("shared runtime: %d workers, admission bound %d\n", rt.Workers(), rt.MaxConcurrent())
+
+	type outcome struct {
+		res     *strategy.Result
+		elapsed time.Duration
+		err     error
+	}
+	outs := make([]outcome, *concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *concurrency; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := strategy.Config{Hier: mem.Pentium4(), Parallelism: par, Runtime: rt}
+			t0 := time.Now()
+			res, err := runOnce(cfg)
+			outs[i] = outcome{res: res, elapsed: time.Since(t0), err: err}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	total := 0
+	for i, o := range outs {
+		if o.err != nil {
+			fail(o.err)
+		}
+		total += o.res.N
+		fmt.Printf("query %d: %d tuples in %v (workers=%d queue=%v)\n",
+			i, o.res.N, o.elapsed.Round(time.Millisecond), o.res.Workers,
+			o.res.Phases.Queue.Round(time.Millisecond))
+	}
+	agg := float64(total) / wall.Seconds()
+	fmt.Printf("concurrent: %d queries on the shared runtime in %v (%.0f tuples/s aggregate)\n",
+		*concurrency, wall.Round(time.Millisecond), agg)
+	if *baseline && wall > 0 {
+		fmt.Printf("speedup over sequential per-query pools: %.2fx\n",
+			seqElapsed.Seconds()/wall.Seconds())
+	}
+}
+
+// runStrategy executes one query with the named strategy on cfg's
+// engine (shared runtime or per-query pool).
+func runStrategy(strat string, pr *workload.Pair, pi int, sel float64, lm, sm string, cfg strategy.Config) (*strategy.Result, error) {
+	switch strat {
+	case "dsm-post", "dsm-pre":
 		l := strategy.DSMSide{OIDs: pr.Larger.SelOIDs, Keys: pr.Larger.SelKeys,
-			Cols: pr.Larger.ProjCols(*pi), BaseN: pr.Larger.BaseN}
+			Cols: pr.Larger.ProjCols(pi), BaseN: pr.Larger.BaseN}
 		s := strategy.DSMSide{OIDs: pr.Smaller.SelOIDs, Keys: pr.Smaller.SelKeys,
-			Cols: pr.Smaller.ProjCols(*pi), BaseN: pr.Smaller.BaseN}
-		if *strat == "dsm-pre" {
-			res, err = strategy.DSMPre(l, s, cfg)
-		} else {
-			res, err = strategy.DSMPost(l, s, method(*lm), method(*sm), cfg)
+			Cols: pr.Smaller.ProjCols(pi), BaseN: pr.Smaller.BaseN}
+		if strat == "dsm-pre" {
+			return strategy.DSMPre(l, s, cfg)
 		}
+		return strategy.DSMPost(l, s, method(lm), method(sm), cfg)
 	case "nsm-pre-hash", "nsm-pre-phash", "nsm-post-decluster", "nsm-post-jive":
-		if *sel != 1 {
-			fail(fmt.Errorf("NSM strategies join whole base tables; use -sel 1"))
+		if sel != 1 {
+			return nil, fmt.Errorf("NSM strategies join whole base tables; use -sel 1")
 		}
-		cols := make([]int, *pi)
+		cols := make([]int, pi)
 		for i := range cols {
 			cols[i] = i + 1
 		}
 		nl := strategy.NSMSide{Rel: pr.Larger.NSM(), KeyCol: 0, ProjCols: cols}
 		ns := strategy.NSMSide{Rel: pr.Smaller.NSM(), KeyCol: 0, ProjCols: cols}
-		switch *strat {
+		switch strat {
 		case "nsm-pre-hash":
-			res, err = strategy.NSMPre(nl, ns, false, cfg)
+			return strategy.NSMPre(nl, ns, false, cfg)
 		case "nsm-pre-phash":
-			res, err = strategy.NSMPre(nl, ns, true, cfg)
+			return strategy.NSMPre(nl, ns, true, cfg)
 		case "nsm-post-decluster":
-			res, err = strategy.NSMPostDecluster(nl, ns, cfg)
+			return strategy.NSMPostDecluster(nl, ns, cfg)
 		default:
-			res, err = strategy.NSMPostJive(nl, ns, 0, cfg)
+			return strategy.NSMPostJive(nl, ns, 0, cfg)
 		}
-	default:
-		err = fmt.Errorf("unknown strategy %q", *strat)
 	}
-	if err != nil {
-		fail(err)
-	}
-	fmt.Printf("strategy=%s result=%d tuples in %v\n", *strat, res.N, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("plan: joinbits=%d largerbits=%d smallerbits=%d window=%d methods=%v/%v workers=%d\n",
-		res.JoinBits, res.LargerBits, res.SmallerBits, res.Window, res.LargerMethod, res.SmallerMethod, res.Workers)
-	fmt.Printf("phases: %s\n", res.Phases)
+	return nil, fmt.Errorf("unknown strategy %q", strat)
 }
 
 func method(s string) strategy.ProjMethod {

@@ -70,3 +70,27 @@ func TestCalibrateRejectsBadHierarchy(t *testing.T) {
 		t.Fatal("empty hierarchy not rejected")
 	}
 }
+
+// MemStreams must recover a bus-saturation stream count near the
+// paper's "nearly a factor 10" sequential-vs-random gap for the
+// Pentium 4 profile, deterministically, and reject hierarchies it
+// cannot probe.
+func TestMemStreams(t *testing.T) {
+	s, err := MemStreams(mem.Pentium4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 4 || s > 16 {
+		t.Fatalf("Pentium4 saturates at %d streams, want within [4, 16] (the ~10x §1.1 gap)", s)
+	}
+	again, err := MemStreams(mem.Pentium4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != s {
+		t.Fatalf("not deterministic: %d then %d", s, again)
+	}
+	if _, err := MemStreams(mem.Hierarchy{}); err == nil {
+		t.Fatal("empty hierarchy not rejected")
+	}
+}

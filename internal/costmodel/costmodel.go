@@ -25,7 +25,10 @@ package costmodel
 import (
 	"fmt"
 	"math"
+	"strings"
+	"sync"
 
+	"radixdecluster/internal/calibrator"
 	"radixdecluster/internal/mem"
 )
 
@@ -105,6 +108,15 @@ type Model struct {
 	H mem.Hierarchy
 	// Share is the fraction of each cache level available (0 = 1.0).
 	Share float64
+	// Queries is the number of concurrently active queries dividing
+	// the machine (0 or 1 = sole query). Set it with ForQueries: it
+	// scales Share and divides the memory bus's saturation-stream
+	// budget in ParallelNanos.
+	Queries int
+	// Streams overrides the bus saturation-stream count (see
+	// MemStreams); 0 selects the calibrated estimate for H, with the
+	// classic constant 4 as fallback.
+	Streams int
 }
 
 func (m Model) share() float64 {
@@ -112,6 +124,44 @@ func (m Model) share() float64 {
 		return 1
 	}
 	return m.Share
+}
+
+func (m Model) queries() int {
+	if m.Queries < 1 {
+		return 1
+	}
+	return m.Queries
+}
+
+// ForQueries returns the model one of q concurrently active queries
+// plans with: a 1/q capacity share of every cache level (on top of
+// any existing Share) and a 1/q share of the bus's saturation
+// streams. q <= 1 returns the model unchanged — the sole-owner
+// assumption of the paper's single-query formulas.
+func (m Model) ForQueries(q int) Model {
+	if q <= 1 {
+		return m
+	}
+	m.Share = m.share() / float64(q)
+	m.Queries = q
+	return m
+}
+
+// MemStreams returns the number of concurrent memory-access streams
+// this model's query may drive before the bus saturates: the
+// hierarchy's total (Streams if set, else the calibrated
+// SaturationStreams estimate) divided evenly among concurrent
+// queries, never below one.
+func (m Model) MemStreams() int {
+	total := m.Streams
+	if total <= 0 {
+		total = SaturationStreams(m.H)
+	}
+	s := total / m.queries()
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 // Nanos converts a cost to nanoseconds using the hierarchy's
@@ -146,26 +196,65 @@ func (m Model) MemNanos(c Cost) float64 {
 	return t
 }
 
-// memSaturationStreams is the number of concurrent access streams
-// that saturate the memory bus: a few cores running the sequential-
-// heavy radix operators draw the full DRAM bandwidth, and additional
-// workers only divide it (STREAM-style scaling on desktop parts).
+// memSaturationStreams is the fallback number of concurrent access
+// streams that saturate the memory bus when calibration is
+// unavailable: a few cores running the sequential-heavy radix
+// operators draw the full DRAM bandwidth, and additional workers only
+// divide it (STREAM-style scaling on desktop parts). The live figure
+// comes from SaturationStreams, which measures the hierarchy with
+// internal/calibrator.
 const memSaturationStreams = 4
+
+// streamsCache memoizes SaturationStreams per hierarchy fingerprint:
+// calibration sweeps the cache simulator and is far too slow to rerun
+// per cost evaluation.
+var streamsCache sync.Map // string -> int
+
+// SaturationStreams returns the number of concurrent sequential
+// access streams that saturate the hierarchy's memory bus, measured
+// at runtime by internal/calibrator (the ratio of random to
+// sequential per-access time over a thrashing footprint — each random
+// stream keeps one line transfer in flight per full miss latency, so
+// the bus is saturated once the aggregate matches the sequential
+// service rate). Results are cached per hierarchy; the classic
+// constant 4 is the fallback when calibration fails.
+func SaturationStreams(h mem.Hierarchy) int {
+	key := hierKey(h)
+	if v, ok := streamsCache.Load(key); ok {
+		return v.(int)
+	}
+	s, err := calibrator.MemStreams(h)
+	if err != nil || s < 1 {
+		s = memSaturationStreams
+	}
+	streamsCache.Store(key, s)
+	return s
+}
+
+// hierKey fingerprints a hierarchy for the calibration cache.
+func hierKey(h mem.Hierarchy) string {
+	var sb strings.Builder
+	for _, l := range h.Levels {
+		fmt.Fprintf(&sb, "%s:%d:%d:%g:%g:%v;", l.Name, l.Size, l.LineSize, l.MissLatency, l.SeqLatency, l.IsTLB)
+	}
+	return sb.String()
+}
 
 // ParallelNanos converts a per-worker parallel cost into modeled
 // elapsed nanoseconds with a memory-bandwidth ceiling: workers
 // proceed concurrently, so elapsed time tracks the per-worker cost —
 // but the job's total LLC-miss traffic still streams over one bus
-// that saturates after memSaturationStreams concurrent streams.
-// total is the serial (whole-job) cost whose memory component sets
-// the floor. The ceiling — not the shrinking per-core cache share —
-// is what stops the bandwidth-bound operators from scaling linearly.
+// that saturates after MemStreams concurrent streams (the calibrated
+// hierarchy total divided across active queries). total is the serial
+// (whole-job) cost whose memory component sets the floor. The ceiling
+// — not the shrinking per-core cache share — is what stops the
+// bandwidth-bound operators from scaling linearly.
 func (m Model) ParallelNanos(perWorker, total Cost, workers int) float64 {
 	ns := m.Nanos(perWorker)
 	if workers <= 1 {
 		return ns
 	}
-	floor := m.MemNanos(total) / math.Min(float64(workers), memSaturationStreams)
+	floor := m.MemNanos(total) / math.Min(float64(workers), float64(m.MemStreams()))
 	return math.Max(ns, floor)
 }
 

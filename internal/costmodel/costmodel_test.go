@@ -210,7 +210,7 @@ func TestParallelNanosBandwidthCeiling(t *testing.T) {
 	m := model()
 	const n = 8 << 20
 	serial := DSMPostDecluster(m, n, n, 4, 8, 2, 64<<10)
-	floor := m.MemNanos(serial) / memSaturationStreams
+	floor := m.MemNanos(serial) / float64(m.MemStreams())
 	var last float64
 	for w := 2; w <= 64; w *= 2 {
 		last = m.ParallelNanos(DSMPostDeclusterParallel(m, w, n, n, 4, 8, 2, 64<<10), serial, w)

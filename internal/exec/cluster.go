@@ -10,10 +10,12 @@ package exec
 //
 //  1. The input is cut into contiguous chunks (morsels); each worker
 //     histograms its chunks privately.
-//  2. A serial prefix sum over (cluster, chunk) — clusters outermost,
-//     chunks in input order — turns the histograms into disjoint
-//     insertion cursors: chunk k's slice of cluster c starts where
-//     chunk k-1's ends.
+//  2. A prefix sum over (cluster, chunk) — clusters outermost, chunks
+//     in input order — turns the histograms into disjoint insertion
+//     cursors: chunk k's slice of cluster c starts where chunk k-1's
+//     ends. Clusters are independent columns of the count matrix, so
+//     the sum itself runs chunked-parallel on the pool (serial only
+//     below the fallback threshold).
 //  3. Workers scatter their chunks through their private cursors.
 //
 // Within each cluster the tuples appear chunk by chunk, and chunks
@@ -197,6 +199,48 @@ func prefixSumChunks(counts []int, h, nch int) []int {
 	return offsets
 }
 
+// prefixSumChunksParallel is prefixSumChunks decomposed for the pool —
+// the last serial residue of the scatter planning. The (cluster,
+// chunk) sum is associative per cluster, so it splits into three
+// passes: per-cluster totals (clusters are disjoint columns of
+// counts — chunked morsels), a serial exclusive prefix sum over the
+// h cluster totals (h ≤ 2^maxFirstPassBits, negligible), and a
+// parallel rewrite of each cluster column into its insertion cursors.
+// The arithmetic is identical to the serial walk, so the cursors —
+// and therefore the scatter output bytes — are identical too.
+func (p *Pool) prefixSumChunksParallel(counts []int, h, nch int) []int {
+	if p.workers == 1 || h*nch < MinParallelN {
+		return prefixSumChunks(counts, h, nch)
+	}
+	totals := make([]int, h)
+	cchunks := Chunks(h, p.workers*morselsPerWorker)
+	p.Run(len(cchunks), func(_, t int, _ *Scratch) {
+		for c := cchunks[t].Lo; c < cchunks[t].Hi; c++ {
+			s := 0
+			for k := 0; k < nch; k++ {
+				s += counts[k*h+c]
+			}
+			totals[c] = s
+		}
+	})
+	offsets := make([]int, h+1)
+	pos := 0
+	for c := 0; c < h; c++ {
+		offsets[c] = pos
+		pos += totals[c]
+	}
+	offsets[h] = pos
+	p.Run(len(cchunks), func(_, t int, _ *Scratch) {
+		for c := cchunks[t].Lo; c < cchunks[t].Hi; c++ {
+			cur := offsets[c]
+			for k := 0; k < nch; k++ {
+				counts[k*h+c], cur = cur, cur+counts[k*h+c]
+			}
+		}
+	})
+	return offsets
+}
+
 // serialPreferred reports whether the serial engine should handle this
 // clustering: tiny inputs, degenerate fan-outs, single-worker pools,
 // and bit widths beyond the two-level scheme.
@@ -237,9 +281,10 @@ func (p *Pool) scatter2(rad []uint32, chunks []Range, o radix.Opts,
 		}
 	})
 
-	// Serial prefix sum: counts becomes the per-(chunk, cluster)
-	// insertion cursors, off1 the level-1 cluster starts.
-	off1 := prefixSumChunks(counts, h1, nch)
+	// Prefix sum (chunked parallel beyond the fallback threshold):
+	// counts becomes the per-(chunk, cluster) insertion cursors, off1
+	// the level-1 cluster starts.
+	off1 := p.prefixSumChunksParallel(counts, h1, nch)
 
 	// Pass 2: scatter. Chunk cursors are disjoint by construction, so
 	// workers write to disjoint output positions.

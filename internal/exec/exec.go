@@ -52,6 +52,16 @@
 // groups (clustered fetches, Radix-Decluster insertion regions, Jive
 // right-phase clusters).
 //
+// Above the per-query layer sits the process-wide Runtime
+// (runtime.go): one shared worker set multiplexed over every
+// concurrent query's pipeline with fair, query-tagged morsel
+// scheduling and admission control. A Pool created by Runtime.NewPool
+// is a lease on that shared set rather than an owner of goroutines;
+// per-query owned Pools (New) remain as the degenerate single-query
+// mode. Operator output bytes are a function of the pool's nominal
+// worker count only, so owned and runtime-backed execution of the
+// same pipeline are byte-identical.
+//
 // Per-worker Scratch buffers keep the hot loops allocation-free.
 package exec
 
@@ -59,15 +69,32 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
-// Pool is a fixed-size worker pool. Workers are long-lived goroutines
-// created by New; Close releases them. A Pool is safe for concurrent
-// Run calls, but the intended use is one Pool per query execution.
+// Pool is the worker handle every parallel operator runs on. It comes
+// in two modes:
+//
+//   - Owned (New): a fixed set of long-lived worker goroutines private
+//     to this pool — the degenerate single-query mode.
+//   - Runtime-backed (Runtime.NewPool): no goroutines of its own; Run
+//     submits jobs to the shared process-wide Runtime, which
+//     multiplexes all concurrent queries over one worker set with
+//     fair, query-tagged morsel scheduling and admission control.
+//
+// Either way, workers is the query's NOMINAL parallelism: morsel
+// granularity (chunksFor) and per-worker cache-budget divisions derive
+// from it, so an operator's output bytes are a function of the nominal
+// count only — never of which shared workers execute the morsels.
+// Close releases the owned workers, or the runtime lease.
 type Pool struct {
 	workers int
-	jobs    chan job
+	jobs    chan job // owned mode; nil when runtime-backed
 	closed  atomic.Bool
+
+	rt *Runtime // runtime-backed mode; nil when owned
+	mu sync.Mutex
+	ls *lease // admitted lease; acquired lazily on first Run
 }
 
 // job is one Run invocation: a morsel counter shared by all workers
@@ -92,14 +119,63 @@ func New(workers int) *Pool {
 	return p
 }
 
-// Workers returns the pool size.
+// Workers returns the pool's nominal worker count (the per-query
+// parallelism, not the shared runtime's size in runtime-backed mode).
 func (p *Pool) Workers() int { return p.workers }
 
-// Close stops the worker goroutines. The pool must be idle.
+// Close stops the worker goroutines (owned mode; the pool must be
+// idle) or releases the runtime lease (runtime-backed mode).
 func (p *Pool) Close() {
 	if p.closed.CompareAndSwap(false, true) {
+		if p.rt != nil {
+			p.mu.Lock()
+			ls := p.ls
+			p.ls = nil
+			p.mu.Unlock()
+			if ls != nil {
+				p.rt.releaseLease()
+			}
+			return
+		}
 		close(p.jobs)
 	}
+}
+
+// attach acquires the pool's runtime lease, blocking on admission
+// control, and reports how long admission took. Owned and serial pools
+// attach instantly with zero wait.
+func (p *Pool) attach() time.Duration {
+	if p.rt == nil {
+		return 0
+	}
+	start := time.Now()
+	p.lease()
+	return time.Since(start)
+}
+
+// lease returns the admitted lease, admitting on first use.
+func (p *Pool) lease() *lease {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ls == nil {
+		p.ls = p.rt.admit()
+	}
+	return p.ls
+}
+
+// queueWait returns the accumulated morsel-queue wait of the pool's
+// jobs so far (zero for owned pools, whose jobs start immediately).
+func (p *Pool) queueWait() time.Duration {
+	if p.rt == nil {
+		return 0
+	}
+	p.mu.Lock()
+	ls := p.ls
+	p.mu.Unlock()
+	if ls == nil {
+		return 0
+	}
+	return time.Duration(ls.queued.Load())
 }
 
 func (p *Pool) worker(id int) {
@@ -120,9 +196,17 @@ func (p *Pool) worker(id int) {
 // [0, ntasks), distributing tasks dynamically: each worker repeatedly
 // claims the next unclaimed task (morsel) until none remain. Run
 // returns when all tasks have finished. fn must not call Run on the
-// same pool (workers would deadlock waiting for themselves).
+// same pool (owned workers would deadlock waiting for themselves, and
+// a runtime job must not submit nested jobs from a morsel body). In
+// runtime-backed mode the worker index passed to fn is a shared
+// runtime worker id — operators must treat it as a scratch key only,
+// never as an index bounded by Workers().
 func (p *Pool) Run(ntasks int, fn func(worker, task int, s *Scratch)) {
 	if ntasks <= 0 {
+		return
+	}
+	if p.rt != nil {
+		p.lease().run(ntasks, fn)
 		return
 	}
 	var wg sync.WaitGroup

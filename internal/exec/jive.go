@@ -2,10 +2,10 @@ package exec
 
 // Parallel Jive-Join phases. The left phase is a fan-out scatter with
 // the same structure as the parallel Radix-Cluster: chunks of the
-// (left-sorted) join-index histogram privately, a serial prefix sum —
-// clusters outermost, chunks in input order — hands every chunk
-// disjoint insertion cursors, and the chunk scatters reproduce the
-// serial cluster contents in global input order. The right phase's
+// (left-sorted) join-index histogram privately, a chunked-parallel
+// prefix sum — clusters outermost, chunks in input order — hands every
+// chunk disjoint insertion cursors, and the chunk scatters reproduce
+// the serial cluster contents in global input order. The right phase's
 // clusters own disjoint result ranges (ResultPos is the identity
 // within a cluster), so cluster groups are independent morsels.
 
@@ -49,10 +49,11 @@ func (p *Pool) JiveLeftRows(ji *join.Index, left *nsm.Relation, leftCols []int, 
 		return nil, err
 	}
 
-	// Serial prefix sum: counts becomes per-(chunk, cluster) insertion
-	// cursors, offsets the cluster starts — identical to the serial
-	// left phase's extents.
-	offsets := prefixSumChunks(counts, h, nch)
+	// Prefix sum (chunked parallel beyond the fallback threshold):
+	// counts becomes per-(chunk, cluster) insertion cursors, offsets
+	// the cluster starts — identical to the serial left phase's
+	// extents.
+	offsets := p.prefixSumChunksParallel(counts, h, nch)
 
 	// Pass 2: chunk scatters through disjoint cursors.
 	out := jive.NewLeftRowsResult(left.Name+"_proj", n, leftCols, offsets, bits)

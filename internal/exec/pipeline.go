@@ -87,10 +87,27 @@ type Phase struct {
 }
 
 // Timings is the wall-clock outcome of Pipeline.Execute: per-kind
-// accumulated durations plus the end-to-end total.
+// accumulated durations plus the end-to-end total. On a shared-runtime
+// pipeline the breakdown separates queueing from execution: ByKind is
+// wall-clock per kind, QueueByKind the portion of it spent waiting in
+// the runtime's morsel queue (submission to first claimed morsel, per
+// job), and Admission the wait for admission control before the first
+// phase. Serial engines and owned per-query pools report zero queueing.
 type Timings struct {
-	ByKind [NumPhaseKinds]time.Duration
-	Total  time.Duration
+	ByKind      [NumPhaseKinds]time.Duration
+	QueueByKind [NumPhaseKinds]time.Duration
+	Admission   time.Duration
+	Total       time.Duration
+}
+
+// Queue returns the total queueing time: admission wait plus the
+// accumulated per-phase morsel-queue waits.
+func (t Timings) Queue() time.Duration {
+	q := t.Admission
+	for _, d := range t.QueueByKind {
+		q += d
+	}
+	return q
 }
 
 // Pipeline is an ordered list of phases bound to one Engine. Build it
@@ -102,9 +119,20 @@ type Pipeline struct {
 }
 
 // NewPipeline creates a pipeline on a fresh engine: workers <= 0 =
-// serial paper mode, n >= 1 = morsel-driven pool of n workers.
+// serial paper mode, n >= 1 = morsel-driven pool of n workers owned by
+// this query alone (the degenerate single-query mode).
 func NewPipeline(workers int) *Pipeline {
 	return &Pipeline{eng: NewEngine(workers)}
+}
+
+// NewRuntimePipeline creates a pipeline that executes on the shared
+// process-wide runtime: Execute first passes admission control (the
+// wait is reported as Timings.Admission), then submits every phase's
+// morsels to the runtime's fair query-tagged queue. workers is the
+// query's nominal parallelism (see Runtime.NewPool); Close releases
+// the admission slot.
+func NewRuntimePipeline(rt *Runtime, workers int) *Pipeline {
+	return &Pipeline{eng: &Engine{pool: rt.NewPool(workers)}}
 }
 
 // Engine exposes the pipeline's engine (for assembly-time decisions).
@@ -128,10 +156,15 @@ func (p *Pipeline) Then(kind PhaseKind, name string, run func(e *Engine) error) 
 func (p *Pipeline) Execute() (Timings, error) {
 	var tm Timings
 	start := time.Now()
+	if p.eng.pool != nil {
+		tm.Admission = p.eng.pool.attach()
+	}
 	for _, ph := range p.phases {
 		t := time.Now()
+		q0 := p.eng.queueWait()
 		err := ph.Run(p.eng)
 		tm.ByKind[ph.Kind] += time.Since(t)
+		tm.QueueByKind[ph.Kind] += p.eng.queueWait() - q0
 		if err != nil {
 			tm.Total = time.Since(start)
 			return tm, err
@@ -172,6 +205,15 @@ func (e *Engine) Close() {
 	if e.pool != nil {
 		e.pool.Close()
 	}
+}
+
+// queueWait returns the engine pool's accumulated morsel-queue wait
+// (zero for the serial engine and owned pools).
+func (e *Engine) queueWait() time.Duration {
+	if e.pool == nil {
+		return 0
+	}
+	return e.pool.queueWait()
 }
 
 // parallel reports whether an n-item operator should run on the pool.

@@ -105,7 +105,7 @@ func (p *Pool) PartitionedRows(larger []int32, lw, lkey int, smaller []int32, sw
 		if err := o.Validate(); err != nil {
 			return nil, err
 		}
-		t, err := join.BuildRowsTable(smaller, sw, skey, uint(o.Ignore))
+		t, err := p.buildRowsTable(smaller, sw, skey, uint(o.Ignore))
 		if err != nil {
 			return nil, err
 		}
@@ -138,10 +138,11 @@ func (p *Pool) PartitionedRows(larger []int32, lw, lkey int, smaller []int32, sw
 }
 
 // HashRows is the parallel equivalent of join.HashRows: the hash
-// table over the smaller relation is built once (serially — chain
-// order fixes duplicate-match order), then chunks of the larger
-// relation probe it concurrently into private buffers stitched in
-// chunk order.
+// table over the smaller relation is built with a partitioned
+// per-worker-shard build (disjoint bucket ranges — byte-identical to
+// the serial build, so chain order still fixes duplicate-match
+// order), then chunks of the larger relation probe it concurrently
+// into private buffers stitched in chunk order.
 func (p *Pool) HashRows(larger []int32, lw, lkey int, smaller []int32, sw, skey int) (*join.RowsResult, error) {
 	if err := checkRowsInput("join", larger, lw, lkey); err != nil {
 		return nil, err
@@ -149,11 +150,25 @@ func (p *Pool) HashRows(larger []int32, lw, lkey int, smaller []int32, sw, skey 
 	if p.workers == 1 || len(larger)/lw+len(smaller)/sw < MinParallelN {
 		return join.HashRows(larger, lw, lkey, smaller, sw, skey)
 	}
-	t, err := join.BuildRowsTable(smaller, sw, skey, 0)
+	t, err := p.buildRowsTable(smaller, sw, skey, 0)
 	if err != nil {
 		return nil, err
 	}
 	return p.probeRowsChunked(t, larger, lw, lkey, sw), nil
+}
+
+// buildRowsTable builds the wide-tuple hash table on the pool: the
+// formerly serial residue of the naive rows join, sharded per worker
+// over disjoint bucket ranges (join.BuildRowsTableParallel). Small
+// inputs stay on the serial build.
+func (p *Pool) buildRowsTable(rows []int32, width, key int, shift uint) (*join.RowTable, error) {
+	if p.workers == 1 || len(rows)/width < MinParallelN {
+		return join.BuildRowsTable(rows, width, key, shift)
+	}
+	return join.BuildRowsTableParallel(rows, width, key, shift, p.workers,
+		func(ntasks int, body func(task int)) {
+			p.Run(ntasks, func(_, t int, _ *Scratch) { body(t) })
+		})
 }
 
 // probeRowsChunked probes larger-side chunks against a prebuilt row

@@ -1,0 +1,261 @@
+package exec
+
+// Runtime is the process-wide execution engine: one fixed pool of
+// workers multiplexed over every concurrently running project-join
+// query, in place of the per-query Pools the strategies used to spin
+// up (which oversubscribe cores and fight for the memory-bandwidth
+// budget the cost model assumes each query owns exclusively).
+//
+// Scheduling model:
+//
+//   - Each executing pipeline holds a lease, granted by admission
+//     control: at most maxConcurrent pipelines run at once, the rest
+//     wait in FIFO order. The admitted count is exposed as
+//     ActiveQueries, the cost model's concurrency input (each query
+//     plans against a 1/Q cache share and a 1/Q bus-stream budget).
+//   - A lease's Run submits one job — a morsel counter plus the task
+//     body, exactly a Pool job — to the shared runnable queue. Workers
+//     pick jobs round-robin across leases and claim ONE morsel per
+//     scheduling decision, so concurrent queries interleave at morsel
+//     granularity instead of queueing whole operators behind each
+//     other (query-tagged fair scheduling).
+//   - Each job records the time from submission to its first claimed
+//     morsel; pipelines surface the accumulated wait as per-phase
+//     queueing time in Timings, separating "waiting for the shared
+//     engine" from "executing".
+//
+// The byte-identical-output contract is untouched: a job's task
+// decomposition (chunking, per-worker windows) is fixed by the
+// lease-holding Pool's nominal worker count, never by which or how
+// many runtime workers happen to serve it.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Runtime owns the single process-wide worker pool and the fair,
+// query-tagged morsel queue. Create one with NewRuntime, hand it to
+// pipelines with NewRuntimePipeline (or NewPool for direct operator
+// use), release the workers with Close.
+type Runtime struct {
+	workers       int
+	maxConcurrent int
+
+	mu       sync.Mutex
+	work     *sync.Cond // signals workers: runnable jobs or shutdown
+	runnable []*rtJob   // jobs with unclaimed morsels, one per lease
+	rr       int        // round-robin cursor over runnable
+	closed   bool
+
+	admitted int             // leases currently held
+	waiters  []chan struct{} // FIFO admission queue
+
+	wg sync.WaitGroup
+}
+
+// rtJob is one Run invocation on a lease: a morsel counter shared by
+// all workers plus the task body (the Runtime counterpart of job).
+type rtJob struct {
+	next    atomic.Int64 // morsel claim counter
+	ntasks  int64
+	fn      func(worker, task int, s *Scratch)
+	pending atomic.Int64  // tasks not yet finished
+	done    chan struct{} // closed by the worker finishing the last task
+	enq     time.Time
+	ls      *lease
+}
+
+// NewRuntime creates a runtime with the given worker count
+// (<= 0 selects runtime.GOMAXPROCS(0)) and admission bound
+// (<= 0 selects max(2, workers): enough concurrent pipelines to keep
+// the workers busy across phase boundaries and serial residues, few
+// enough that every admitted query keeps a meaningful cache share).
+func NewRuntime(workers, maxConcurrent int) *Runtime {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if maxConcurrent <= 0 {
+		maxConcurrent = workers
+		if maxConcurrent < 2 {
+			maxConcurrent = 2
+		}
+	}
+	rt := &Runtime{workers: workers, maxConcurrent: maxConcurrent}
+	rt.work = sync.NewCond(&rt.mu)
+	rt.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go rt.worker(w)
+	}
+	return rt
+}
+
+// Workers returns the size of the shared pool.
+func (rt *Runtime) Workers() int { return rt.workers }
+
+// MaxConcurrent returns the admission bound: the maximum number of
+// pipelines executing at once.
+func (rt *Runtime) MaxConcurrent() int { return rt.maxConcurrent }
+
+// ActiveQueries returns the number of currently admitted pipelines —
+// the active-query count the cost model divides the cache share and
+// memory-bandwidth budget by.
+func (rt *Runtime) ActiveQueries() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.admitted
+}
+
+// QueuedQueries returns the number of pipelines waiting for admission.
+func (rt *Runtime) QueuedQueries() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.waiters)
+}
+
+// Close stops the worker goroutines and waits for them to exit. The
+// runtime must be idle: no admitted or admission-waiting pipelines.
+func (rt *Runtime) Close() {
+	rt.mu.Lock()
+	rt.closed = true
+	rt.mu.Unlock()
+	rt.work.Broadcast()
+	rt.wg.Wait()
+}
+
+// NewPool returns a Pool handle whose Run submits to this runtime's
+// shared queue instead of owning workers — the degenerate per-query
+// Pool demoted to a lease. workers (<= 0 selects the runtime's size)
+// sets the query's nominal parallelism: morsel granularity and
+// per-worker window division derive from it, so the output bytes
+// depend on it exactly as they would on an owned pool's size — never
+// on the shared workers actually serving the morsels. Admission is
+// acquired on first use (or explicitly via a pipeline's Execute) and
+// released by Close.
+func (rt *Runtime) NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = rt.workers
+	}
+	return &Pool{workers: workers, rt: rt}
+}
+
+// worker is the shared-pool loop: claim one morsel per round-robin
+// scheduling decision, so every admitted query makes progress while
+// any of its morsels are pending.
+func (rt *Runtime) worker(id int) {
+	defer rt.wg.Done()
+	s := &Scratch{}
+	for {
+		j := rt.nextJob()
+		if j == nil {
+			return
+		}
+		t := j.next.Add(1) - 1
+		if t >= j.ntasks {
+			continue // lost the race for the last morsel; nextJob retires it
+		}
+		if t == 0 {
+			j.ls.queued.Add(int64(time.Since(j.enq)))
+		}
+		j.fn(id, int(t), s)
+		if j.pending.Add(-1) == 0 {
+			close(j.done)
+		}
+	}
+}
+
+// nextJob blocks until a runnable job exists (returning it and
+// advancing the round-robin cursor) or the runtime closes (returning
+// nil). Jobs whose morsels are all claimed are retired from the
+// runnable list here.
+func (rt *Runtime) nextJob() *rtJob {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for {
+		for len(rt.runnable) > 0 {
+			if rt.rr >= len(rt.runnable) {
+				rt.rr = 0
+			}
+			j := rt.runnable[rt.rr]
+			if j.next.Load() >= j.ntasks {
+				rt.runnable = append(rt.runnable[:rt.rr], rt.runnable[rt.rr+1:]...)
+				continue
+			}
+			rt.rr++
+			return j
+		}
+		if rt.closed {
+			return nil
+		}
+		rt.work.Wait()
+	}
+}
+
+func (rt *Runtime) submit(j *rtJob) {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		panic("exec: Run on a closed Runtime")
+	}
+	rt.runnable = append(rt.runnable, j)
+	rt.mu.Unlock()
+	rt.work.Broadcast()
+}
+
+// lease is one admitted pipeline's handle on the runtime. queued
+// accumulates the submission-to-first-morsel waits of its jobs — the
+// morsel-queue component of the pipeline's queueing time.
+type lease struct {
+	rt     *Runtime
+	queued atomic.Int64 // nanoseconds
+}
+
+// run executes fn over [0, ntasks) morsels on the shared workers and
+// returns when all have finished. Like Pool.Run, fn must not submit
+// nested jobs from within a morsel body.
+func (l *lease) run(ntasks int, fn func(worker, task int, s *Scratch)) {
+	if ntasks <= 0 {
+		return
+	}
+	j := &rtJob{ntasks: int64(ntasks), fn: fn, done: make(chan struct{}), enq: time.Now(), ls: l}
+	j.pending.Store(int64(ntasks))
+	l.rt.submit(j)
+	<-j.done
+}
+
+// admit blocks until admission control grants a slot (FIFO beyond
+// maxConcurrent concurrent pipelines) and returns the lease.
+func (rt *Runtime) admit() *lease {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		panic("exec: admission on a closed Runtime")
+	}
+	if rt.admitted < rt.maxConcurrent && len(rt.waiters) == 0 {
+		rt.admitted++
+		rt.mu.Unlock()
+		return &lease{rt: rt}
+	}
+	ch := make(chan struct{})
+	rt.waiters = append(rt.waiters, ch)
+	rt.mu.Unlock()
+	<-ch
+	return &lease{rt: rt}
+}
+
+// releaseLease hands the slot to the longest-waiting pipeline, or
+// frees it.
+func (rt *Runtime) releaseLease() {
+	rt.mu.Lock()
+	if len(rt.waiters) > 0 {
+		ch := rt.waiters[0]
+		rt.waiters = rt.waiters[1:]
+		rt.mu.Unlock()
+		close(ch)
+		return
+	}
+	rt.admitted--
+	rt.mu.Unlock()
+}

@@ -5,11 +5,18 @@ package strategy
 // Config.Parallelism the same way: an explicit worker count is taken
 // as-is, AutoParallelism asks the matching costmodel.ChooseParallelism*
 // formula — the modeled elapsed time across worker counts up to
-// runtime.GOMAXPROCS, including the per-core cache-share shrinkage and
+// runtime.GOMAXPROCS (capped by the shared runtime's pool size when
+// one is configured), including the per-core cache-share shrinkage and
 // the shared memory-bandwidth ceiling — and 0 stays on the serial
-// paper path. Inputs below the executor's serial-fallback threshold
-// (exec.MinParallelN) never spin up a pool: every operator would fall
-// back to serial code anyway, so the run reports Workers = 0.
+// paper path. When Config.Runtime is set, the model is additionally
+// divided across the runtime's active queries: each of Q concurrent
+// queries plans against a 1/Q cache share and a 1/Q share of the
+// bus's saturation streams (costmodel.Model.ForQueries), so a busy
+// runtime steers individual queries toward fewer workers. Inputs
+// below the executor's serial-fallback threshold (exec.MinParallelN)
+// never spin up a pool or enter runtime admission: every operator
+// would fall back to serial code anyway, so the run reports
+// Workers = 0.
 
 import (
 	"runtime"
@@ -19,6 +26,37 @@ import (
 	"radixdecluster/internal/exec"
 	"radixdecluster/internal/radix"
 )
+
+// queries estimates how many queries will share the machine while
+// this one runs: the runtime's currently admitted pipelines plus this
+// query. Without a shared runtime every query plans as the sole owner.
+func (c Config) queries() int {
+	if c.Runtime == nil {
+		return 1
+	}
+	q := c.Runtime.ActiveQueries() + 1
+	if q < 1 {
+		q = 1
+	}
+	return q
+}
+
+// model builds the cost model for one planning decision, with the
+// cache share and bus-stream budget divided across active queries.
+func (c Config) model() costmodel.Model {
+	return costmodel.Model{H: c.hier()}.ForQueries(c.queries())
+}
+
+// maxWorkers bounds the planner's worker-count search: the machine,
+// and the shared runtime's pool when one is configured (a query
+// cannot be served by more workers than the runtime owns).
+func (c Config) maxWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if c.Runtime != nil && c.Runtime.Workers() < w {
+		w = c.Runtime.Workers()
+	}
+	return w
+}
 
 // PlanParallelism runs the cost model's serial-vs-parallel decision
 // for a DSM post-projection of the given shape. It returns the
@@ -34,8 +72,7 @@ func PlanParallelism(nJI, baseN, pi int, cfg Config) int {
 	if window == 0 {
 		window = core.PlanWindow(h, 4)
 	}
-	m := costmodel.Model{H: h}
-	return costmodel.ChooseParallelism(m, runtime.GOMAXPROCS(0),
+	return costmodel.ChooseParallelism(cfg.model(), cfg.maxWorkers(),
 		nJI, baseN, 4, max(1, bits), max(1, pi), window)
 }
 
@@ -44,24 +81,21 @@ func PlanParallelism(nJI, baseN, pi int, cfg Config) int {
 // cardinalities, lw/sw wide-tuple widths in fields, bits the join
 // partitioning fan-out (0 = naive hash join).
 func planParallelismRows(nL, nS, lw, sw, bits int, cfg Config) int {
-	m := costmodel.Model{H: cfg.hier()}
-	return costmodel.ChooseParallelismRows(m, runtime.GOMAXPROCS(0),
+	return costmodel.ChooseParallelismRows(cfg.model(), cfg.maxWorkers(),
 		nL, nS, lw*4, sw*4, bits)
 }
 
 // planParallelismNSMPost is the decision for NSM post-projection with
 // the Radix algorithms.
 func planParallelismNSMPost(nJI, baseN, omegaBytes, projBytes, bits, window int, cfg Config) int {
-	m := costmodel.Model{H: cfg.hier()}
-	return costmodel.ChooseParallelismNSMPost(m, runtime.GOMAXPROCS(0),
+	return costmodel.ChooseParallelismNSMPost(cfg.model(), cfg.maxWorkers(),
 		nJI, baseN, omegaBytes, projBytes, max(1, bits), window)
 }
 
 // planParallelismJive is the decision for NSM post-projection with
 // Jive-Join.
 func planParallelismJive(nJI, leftN, rightN, omegaBytes, projBytes, bits int, cfg Config) int {
-	m := costmodel.Model{H: cfg.hier()}
-	return costmodel.ChooseParallelismJive(m, runtime.GOMAXPROCS(0),
+	return costmodel.ChooseParallelismJive(cfg.model(), cfg.maxWorkers(),
 		nJI, leftN, rightN, omegaBytes, projBytes, max(1, bits))
 }
 
@@ -69,6 +103,8 @@ func planParallelismJive(nJI, leftN, rightN, omegaBytes, projBytes, bits int, cf
 // strategy run. plan supplies the strategy's cost-model decision
 // (consulted only for AutoParallelism); joinInput is the total join
 // input cardinality gating pool creation against exec.MinParallelN.
+// Parallel pipelines run on the shared runtime when one is
+// configured, otherwise on an owned per-query pool.
 func (c Config) pipelineFor(joinInput int, plan func() int) *exec.Pipeline {
 	w := 0
 	switch {
@@ -81,6 +117,9 @@ func (c Config) pipelineFor(joinInput int, plan func() int) *exec.Pipeline {
 	}
 	if w > 0 && joinInput < exec.MinParallelN {
 		w = 0
+	}
+	if w > 0 && c.Runtime != nil {
+		return exec.NewRuntimePipeline(c.Runtime, w)
 	}
 	return exec.NewPipeline(w)
 }
@@ -95,6 +134,7 @@ func phasesFromTimings(t exec.Timings) Phases {
 		ProjectLarger:  t.ByKind[exec.PhaseProjectLarger],
 		ProjectSmaller: t.ByKind[exec.PhaseProjectSmaller],
 		Decluster:      t.ByKind[exec.PhaseDecluster],
+		Queue:          t.Queue(),
 		Total:          t.Total,
 	}
 }

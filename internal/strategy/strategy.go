@@ -93,6 +93,17 @@ type Config struct {
 	// executor, and parallel runs produce output byte-identical to
 	// serial runs.
 	Parallelism int
+	// Runtime, when set, submits parallel pipelines to the shared
+	// process-wide execution runtime: admission control bounds the
+	// number of concurrently executing pipelines, all queries
+	// multiplex over one worker set with fair morsel scheduling, and
+	// AutoParallelism plans against the runtime's active-query count
+	// (each of Q concurrent queries models a 1/Q cache share and bus
+	// budget). When nil, parallel runs spin up a per-query pool — the
+	// degenerate single-query mode. Serial runs (Parallelism 0) never
+	// involve the runtime. The result bytes are identical in all three
+	// modes.
+	Runtime *exec.Runtime
 }
 
 func (c Config) hier() mem.Hierarchy {
@@ -115,16 +126,23 @@ type Phases struct {
 	ProjectSmaller time.Duration
 	// Decluster: the Radix-Decluster (or Jive right-phase scatter).
 	Decluster time.Duration
+	// Queue is the time spent waiting on the shared runtime rather
+	// than executing: the admission-control wait plus the accumulated
+	// morsel-queue waits of every phase. The morsel-queue component is
+	// contained in the phase wall-clocks above; the admission
+	// component precedes the first phase and is contained only in
+	// Total. Zero for serial runs and per-query pools.
+	Queue time.Duration
 	// Total is the end-to-end time.
 	Total time.Duration
 }
 
 func (p Phases) String() string {
-	return fmt.Sprintf("scan=%v join=%v reorder=%v projL=%v projS=%v declust=%v total=%v",
+	return fmt.Sprintf("scan=%v join=%v reorder=%v projL=%v projS=%v declust=%v queue=%v total=%v",
 		p.Scan.Round(time.Microsecond), p.Join.Round(time.Microsecond),
 		p.ReorderJI.Round(time.Microsecond), p.ProjectLarger.Round(time.Microsecond),
 		p.ProjectSmaller.Round(time.Microsecond), p.Decluster.Round(time.Microsecond),
-		p.Total.Round(time.Microsecond))
+		p.Queue.Round(time.Microsecond), p.Total.Round(time.Microsecond))
 }
 
 // Result is a completed project-join.

@@ -41,6 +41,17 @@ const (
 	NSMPostJive
 )
 
+// String returns the strategy's canonical name. Every constant has a
+// distinct name (round-trippable through ParseStrategy):
+//
+//	auto, DSM-post-decluster, DSM-pre, NSM-pre-hash, NSM-pre-phash,
+//	NSM-post-decluster, NSM-post-jive
+//
+// DSMPre is deliberately named "DSM-pre" rather than Figure 10's
+// legend label "DSM-pre-phash": the DSM pre-projection always joins
+// partitioned, so the suffix adds nothing — and it collided with
+// NSMPrePhash's "-phash" suffix style, making the two easy to confuse
+// in logs and impossible to parse back unambiguously by suffix.
 func (s Strategy) String() string {
 	switch s {
 	case AutoStrategy:
@@ -48,7 +59,7 @@ func (s Strategy) String() string {
 	case DSMPostDecluster:
 		return "DSM-post-decluster"
 	case DSMPre:
-		return "DSM-pre-phash"
+		return "DSM-pre"
 	case NSMPreHash:
 		return "NSM-pre-hash"
 	case NSMPrePhash:
@@ -96,15 +107,24 @@ type JoinQuery struct {
 	LargerMethod, SmallerMethod ProjMethod
 	// Parallelism selects the execution engine: 0 (the default) is
 	// the paper's serial single-threaded mode; n >= 1 runs the chosen
-	// strategy on the morsel-driven parallel executor (internal/exec)
-	// with n workers; AutoParallelism lets the planner pick a worker
-	// count per strategy from the cost model (which weighs the
-	// per-core cache share and the memory-bandwidth ceiling) and
-	// runtime.GOMAXPROCS. Every strategy — DSM post- and
-	// pre-projection and all NSM plans — executes as a phase pipeline
-	// on the shared executor, and parallel runs return results
-	// byte-identical to serial runs.
+	// strategy with nominal parallelism n on the shared runtime's
+	// morsel-driven executor; AutoParallelism asks the runtime
+	// planner, which picks a worker count per strategy from the cost
+	// model — weighing the per-core cache share, the memory-bandwidth
+	// ceiling, and the runtime's active-query count (each of Q
+	// concurrent queries plans against a 1/Q cache and bus share) —
+	// capped by runtime.GOMAXPROCS and the shared pool size. Every
+	// strategy — DSM post- and pre-projection and all NSM plans —
+	// executes as a phase pipeline, and parallel runs return results
+	// byte-identical to serial runs regardless of how many queries
+	// share the runtime.
 	Parallelism int
+	// Runtime selects the shared execution runtime for parallel runs:
+	// nil uses the lazily-initialized process default
+	// (DefaultRuntime), so concurrent queries in one process
+	// automatically share a single worker pool under admission
+	// control. Serial runs (Parallelism 0) never involve a runtime.
+	Runtime *Runtime
 	// Hier drives all planning (zero value: the paper's Pentium 4).
 	Hier Hierarchy
 }
@@ -114,7 +134,12 @@ type JoinQuery struct {
 // using the cost model's per-core cache-capacity tradeoff.
 const AutoParallelism = strategy.AutoParallelism
 
-// Timing is the per-phase wall-clock breakdown of a run.
+// Timing is the per-phase wall-clock breakdown of a run. Queue is the
+// time spent waiting on the shared runtime rather than executing: the
+// admission-control wait plus every phase's morsel-queue waits. The
+// morsel-queue component is contained in the phase times; the
+// admission component precedes the first phase and is contained only
+// in Total. Queue is zero for serial runs.
 type Timing struct {
 	Scan           time.Duration
 	Join           time.Duration
@@ -122,6 +147,7 @@ type Timing struct {
 	ProjectLarger  time.Duration
 	ProjectSmaller time.Duration
 	Decluster      time.Duration
+	Queue          time.Duration
 	Total          time.Duration
 }
 
@@ -165,7 +191,7 @@ func ProjectJoin(q JoinQuery) (*Result, error) {
 	if q.Larger == nil || q.Smaller == nil {
 		return nil, fmt.Errorf("radixdecluster: both relations are required")
 	}
-	cfg := strategy.Config{Hier: q.Hier.internal(), Parallelism: q.Parallelism}
+	cfg := strategy.Config{Hier: q.Hier.internal(), Parallelism: q.Parallelism, Runtime: q.execRuntime()}
 	st := q.Strategy
 	if st == AutoStrategy {
 		st = DSMPostDecluster
@@ -280,7 +306,7 @@ func buildResult(q JoinQuery, res *strategy.Result) (*Result, error) {
 		Timing: Timing{
 			Scan: res.Phases.Scan, Join: res.Phases.Join, ReorderJI: res.Phases.ReorderJI,
 			ProjectLarger: res.Phases.ProjectLarger, ProjectSmaller: res.Phases.ProjectSmaller,
-			Decluster: res.Phases.Decluster, Total: res.Phases.Total,
+			Decluster: res.Phases.Decluster, Queue: res.Phases.Queue, Total: res.Phases.Total,
 		},
 		Plan: fmt.Sprintf("joinbits=%d largerbits=%d smallerbits=%d window=%d methods=%c/%c workers=%d",
 			res.JoinBits, res.LargerBits, res.SmallerBits, res.Window,
@@ -368,8 +394,15 @@ func PlanJoin(q JoinQuery) (*Plan, error) {
 	pi := max(len(q.LargerProject), len(q.SmallerProject))
 	p.ModeledMs = m.Millis(costmodel.DSMPostDecluster(m, nOut, max(nL, nS), 4,
 		max(p.LargerBits, 1), max(pi, 1), p.WindowTuples))
-	p.Parallelism = strategy.PlanParallelism(nOut, max(nL, nS), pi,
-		strategy.Config{Hier: h})
+	pcfg := strategy.Config{Hier: h}
+	if q.Runtime != nil {
+		// Plan against the query's runtime: its pool size caps the
+		// worker search and its active-query count shrinks the modeled
+		// cache and bandwidth shares. (The process default is not
+		// consulted here — planning alone must not spin it up.)
+		pcfg.Runtime = q.Runtime.rt
+	}
+	p.Parallelism = strategy.PlanParallelism(nOut, max(nL, nS), pi, pcfg)
 	return p, nil
 }
 

@@ -1,0 +1,115 @@
+package radixdecluster
+
+import (
+	"fmt"
+	"sync"
+
+	"radixdecluster/internal/exec"
+)
+
+// RuntimeConfig configures a Runtime.
+type RuntimeConfig struct {
+	// Workers is the size of the shared worker pool. <= 0 selects
+	// runtime.GOMAXPROCS(0) — one worker per schedulable core, the
+	// most the machine can genuinely run in parallel no matter how
+	// many queries are in flight.
+	Workers int
+	// MaxConcurrentQueries is the admission bound: at most this many
+	// parallel queries execute at once, the rest wait in FIFO order.
+	// <= 0 selects max(2, Workers). Bounding concurrency keeps every
+	// admitted query's cache share and memory-bandwidth share large
+	// enough that the cost model's plans stay meaningful.
+	MaxConcurrentQueries int
+}
+
+// Runtime is the process-wide execution engine for concurrent
+// ProjectJoin queries: one fixed worker pool multiplexed over every
+// in-flight parallel query with fair, query-tagged morsel scheduling
+// and admission control, instead of a private pool per query (which
+// oversubscribes cores and silently halves every query's modeled
+// cache and bandwidth budget as soon as two run at once).
+//
+// Every parallel ProjectJoin (JoinQuery.Parallelism != 0) executes on
+// a Runtime: the one in JoinQuery.Runtime, or the lazily-initialized
+// process default (DefaultRuntime). Serial runs (Parallelism 0, the
+// paper's mode) never involve a runtime. Results are byte-identical
+// across serial, per-query-pool and shared-runtime execution.
+type Runtime struct {
+	rt *exec.Runtime
+}
+
+// NewRuntime creates a runtime. Most programs never call this — the
+// process default is created on first parallel query — but servers
+// that want an explicit worker budget or admission bound (or an
+// isolated runtime per tenant) configure their own and either set it
+// on each JoinQuery or pass queries through it. Close releases the
+// workers.
+func NewRuntime(cfg RuntimeConfig) *Runtime {
+	return &Runtime{rt: exec.NewRuntime(cfg.Workers, cfg.MaxConcurrentQueries)}
+}
+
+// Workers returns the shared pool size.
+func (r *Runtime) Workers() int { return r.rt.Workers() }
+
+// MaxConcurrentQueries returns the admission bound.
+func (r *Runtime) MaxConcurrentQueries() int { return r.rt.MaxConcurrent() }
+
+// ActiveQueries returns the number of parallel queries currently
+// executing (admitted) on this runtime. The planner divides each new
+// query's modeled cache share and memory-bandwidth budget by this
+// count plus one.
+func (r *Runtime) ActiveQueries() int { return r.rt.ActiveQueries() }
+
+// QueuedQueries returns the number of parallel queries waiting for
+// admission.
+func (r *Runtime) QueuedQueries() int { return r.rt.QueuedQueries() }
+
+// Close stops the runtime's workers. The runtime must be idle (no
+// executing or admission-waiting queries). The process default
+// runtime is never closed.
+func (r *Runtime) Close() { r.rt.Close() }
+
+var (
+	defaultRuntimeOnce sync.Once
+	defaultRuntime     *Runtime
+)
+
+// DefaultRuntime returns the lazily-initialized process-wide runtime:
+// GOMAXPROCS workers and the default admission bound. Every parallel
+// ProjectJoin whose JoinQuery.Runtime is nil runs on it, so all of a
+// process's queries share one worker set by default.
+func DefaultRuntime() *Runtime {
+	defaultRuntimeOnce.Do(func() {
+		defaultRuntime = NewRuntime(RuntimeConfig{})
+	})
+	return defaultRuntime
+}
+
+// execRuntime resolves the runtime a query should execute on: nil for
+// serial runs (never spin up the default pool for paper-mode
+// queries), the query's own runtime when set, the process default
+// otherwise.
+func (q JoinQuery) execRuntime() *exec.Runtime {
+	if q.Parallelism == 0 {
+		return nil
+	}
+	if q.Runtime != nil {
+		return q.Runtime.rt
+	}
+	return DefaultRuntime().rt
+}
+
+// ParseStrategy maps a strategy's String() name (e.g. from a flag or
+// an API request) back to the constant. It accepts exactly the names
+// String returns.
+func ParseStrategy(s string) (Strategy, error) {
+	for _, st := range []Strategy{
+		AutoStrategy, DSMPostDecluster, DSMPre,
+		NSMPreHash, NSMPrePhash, NSMPostDecluster, NSMPostJive,
+	} {
+		if st.String() == s {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("radixdecluster: unknown strategy %q", s)
+}

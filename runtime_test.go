@@ -1,0 +1,298 @@
+package radixdecluster
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"radixdecluster/internal/exec"
+	"radixdecluster/internal/strategy"
+	"radixdecluster/internal/workload"
+)
+
+// TestConcurrentMixedStrategiesByteIdentical is the shared-runtime
+// stress test: at least 8 ProjectJoin queries of mixed strategies run
+// concurrently on one runtime, and every one must return exactly the
+// bytes its serial (paper-mode) execution returns. Run under -race in
+// CI, this is the correctness contract of the process-wide executor:
+// fair multiplexing and admission control change scheduling only,
+// never results.
+func TestConcurrentMixedStrategiesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test needs full-size relations")
+	}
+	const pi = 2
+	// Two workload shapes x all strategies (plus auto and an explicit
+	// method pair) = 9 concurrent queries, above MinParallelN so the
+	// parallel operators genuinely run.
+	larger1, smaller1 := workloadRelations(t,
+		workload.Params{N: 32 << 10, Omega: pi + 1, HitRate: 1, SelLarger: 1, SelSmaller: 1, Seed: 91}, pi)
+	larger2, smaller2 := workloadRelations(t,
+		workload.Params{N: 48 << 10, Omega: pi + 1, HitRate: 1, Skew: 1.1, SelLarger: 1, SelSmaller: 1, Seed: 92}, pi)
+
+	rt := NewRuntime(RuntimeConfig{})
+	defer rt.Close()
+
+	type testQuery struct {
+		name string
+		q    JoinQuery
+	}
+	var queries []testQuery
+	add := func(name string, l, s *Relation, st Strategy, lm, sm ProjMethod) {
+		queries = append(queries, testQuery{name: name, q: JoinQuery{
+			Larger: l, Smaller: s,
+			LargerKey: "key", SmallerKey: "key",
+			LargerProject: projNames(pi), SmallerProject: projNames(pi),
+			Strategy: st, LargerMethod: lm, SmallerMethod: sm,
+		}})
+	}
+	for _, st := range []Strategy{DSMPostDecluster, DSMPre, NSMPreHash, NSMPrePhash, NSMPostDecluster, NSMPostJive} {
+		add("uniform/"+st.String(), larger1, smaller1, st, AutoMethod, AutoMethod)
+	}
+	add("skewed/"+DSMPostDecluster.String(), larger2, smaller2, DSMPostDecluster, AutoMethod, AutoMethod)
+	add("skewed/methods-s-d", larger2, smaller2, DSMPostDecluster, SortedMethod, DeclusterMethod)
+	add("skewed/"+NSMPostJive.String(), larger2, smaller2, NSMPostJive, AutoMethod, AutoMethod)
+	if len(queries) < 8 {
+		t.Fatalf("stress needs >= 8 queries, have %d", len(queries))
+	}
+
+	// Serial references first, sequentially.
+	want := make([]*Result, len(queries))
+	for i, tq := range queries {
+		q := tq.q
+		q.Parallelism = 0
+		res, err := ProjectJoin(q)
+		if err != nil {
+			t.Fatalf("%s serial: %v", tq.name, err)
+		}
+		want[i] = res
+	}
+
+	// Fire everything at once on the shared runtime.
+	var wg sync.WaitGroup
+	errs := make([]error, len(queries))
+	got := make([]*Result, len(queries))
+	for i, tq := range queries {
+		wg.Add(1)
+		go func(i int, q JoinQuery, name string) {
+			defer wg.Done()
+			q.Parallelism = 4
+			q.Runtime = rt
+			res, err := ProjectJoin(q)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", name, err)
+				return
+			}
+			got[i] = res
+		}(i, tq.q, tq.name)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].N != want[i].N {
+			t.Fatalf("%s: concurrent N=%d, serial N=%d", queries[i].name, got[i].N, want[i].N)
+		}
+		if !reflect.DeepEqual(got[i].Cols, want[i].Cols) {
+			t.Fatalf("%s: concurrent result differs from serial bytes", queries[i].name)
+		}
+		if got[i].Timing.Queue < 0 || got[i].Timing.Queue > got[i].Timing.Total {
+			t.Fatalf("%s: queue time %v outside [0, total=%v]",
+				queries[i].name, got[i].Timing.Queue, got[i].Timing.Total)
+		}
+	}
+	if rt.ActiveQueries() != 0 || rt.QueuedQueries() != 0 {
+		t.Fatalf("runtime not drained: %d active, %d queued", rt.ActiveQueries(), rt.QueuedQueries())
+	}
+}
+
+// TestRuntimeAdmissionSerializesQueries pins the public admission
+// surface: with MaxConcurrentQueries = 1 every parallel query still
+// completes correctly (the excess waits FIFO rather than erroring or
+// deadlocking), and the runtime never reports more active queries
+// than the bound.
+func TestRuntimeAdmissionSerializesQueries(t *testing.T) {
+	larger, smaller := workloadRelations(t,
+		workload.Params{N: 32 << 10, Omega: 2, HitRate: 1, SelLarger: 1, SelSmaller: 1, Seed: 93}, 1)
+	rt := NewRuntime(RuntimeConfig{MaxConcurrentQueries: 1})
+	defer rt.Close()
+	if rt.MaxConcurrentQueries() != 1 {
+		t.Fatalf("admission bound %d, want 1", rt.MaxConcurrentQueries())
+	}
+	q := JoinQuery{
+		Larger: larger, Smaller: smaller,
+		LargerKey: "key", SmallerKey: "key",
+		LargerProject: projNames(1), SmallerProject: projNames(1),
+		Strategy: DSMPostDecluster,
+	}
+	want, err := ProjectJoin(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var over bool
+	var monitor sync.WaitGroup
+	monitor.Add(1)
+	go func() {
+		defer monitor.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if rt.ActiveQueries() > 1 {
+					over = true
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pq := q
+			pq.Parallelism = 2
+			pq.Runtime = rt
+			res, err := ProjectJoin(pq)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !reflect.DeepEqual(res.Cols, want.Cols) {
+				t.Error("admission-serialized query differs from serial result")
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	monitor.Wait()
+	if over {
+		t.Fatal("runtime reported more active queries than the admission bound")
+	}
+}
+
+// TestConcurrentThroughputMultiCore is the acceptance measurement: on
+// a multi-core box, 4 concurrent queries on the shared runtime must
+// deliver strictly higher aggregate throughput than the same 4
+// queries run back to back on per-query pools (the pre-runtime
+// architecture, still reachable through internal/strategy without a
+// Runtime). Skips on single-core machines, where there is no
+// parallelism to reclaim, and under the race detector, which distorts
+// wall-clock.
+func TestConcurrentThroughputMultiCore(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock comparison is meaningless under the race detector")
+	}
+	if runtime.GOMAXPROCS(0) < 2 || runtime.NumCPU() < 2 {
+		t.Skip("needs a multi-core machine")
+	}
+	if testing.Short() {
+		t.Skip("throughput measurement needs full-size relations")
+	}
+	const nQueries = 4
+	const pi = 2
+	pr, err := workload.GenPair(workload.Params{
+		N: 256 << 10, Omega: pi + 1, HitRate: 1, SelLarger: 1, SelSmaller: 1, Seed: 94,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Materialize the sides once: the pair's projection-column
+	// memoization is unsynchronized, and the concurrent runs below
+	// share it (the strategies only read the side slices).
+	l := strategy.DSMSide{OIDs: pr.Larger.SelOIDs, Keys: pr.Larger.SelKeys,
+		Cols: pr.Larger.ProjCols(pi), BaseN: pr.Larger.BaseN}
+	s := strategy.DSMSide{OIDs: pr.Smaller.SelOIDs, Keys: pr.Smaller.SelKeys,
+		Cols: pr.Smaller.ProjCols(pi), BaseN: pr.Smaller.BaseN}
+	runOne := func(cfg strategy.Config) {
+		if _, err := strategy.DSMPost(l, s, strategy.Auto, strategy.Auto, cfg); err != nil {
+			t.Error(err)
+		}
+	}
+
+	// Warm-up (page faults, allocator growth) outside both timings.
+	runOne(strategy.Config{Parallelism: strategy.AutoParallelism})
+
+	// Old architecture: per-query pools, queries back to back.
+	seqStart := time.Now()
+	for i := 0; i < nQueries; i++ {
+		runOne(strategy.Config{Parallelism: strategy.AutoParallelism})
+	}
+	sequential := time.Since(seqStart)
+
+	// New architecture: one shared runtime, queries at once.
+	rt := exec.NewRuntime(0, 0)
+	defer rt.Close()
+	var wg sync.WaitGroup
+	conStart := time.Now()
+	for i := 0; i < nQueries; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runOne(strategy.Config{Parallelism: strategy.AutoParallelism, Runtime: rt})
+		}()
+	}
+	wg.Wait()
+	concurrent := time.Since(conStart)
+
+	t.Logf("4 sequential per-query-pool runs: %v; 4 concurrent shared-runtime runs: %v (%.2fx)",
+		sequential, concurrent, sequential.Seconds()/concurrent.Seconds())
+	if concurrent >= sequential {
+		t.Fatalf("shared runtime aggregate throughput not higher: concurrent %v vs sequential %v",
+			concurrent, sequential)
+	}
+}
+
+// TestStrategyStringRoundTrip pins the satellite fix: every strategy
+// constant has a distinct canonical name (DSMPre used to print
+// "DSM-pre-phash", colliding with NSMPrePhash's suffix style), and
+// ParseStrategy round-trips each one.
+func TestStrategyStringRoundTrip(t *testing.T) {
+	all := []Strategy{
+		AutoStrategy, DSMPostDecluster, DSMPre,
+		NSMPreHash, NSMPrePhash, NSMPostDecluster, NSMPostJive,
+	}
+	seen := make(map[string]Strategy)
+	for _, st := range all {
+		name := st.String()
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("strategies %d and %d share the name %q", prev, st, name)
+		}
+		seen[name] = st
+		back, err := ParseStrategy(name)
+		if err != nil {
+			t.Fatalf("ParseStrategy(%q): %v", name, err)
+		}
+		if back != st {
+			t.Fatalf("ParseStrategy(%q) = %d, want %d", name, back, st)
+		}
+	}
+	if _, err := ParseStrategy("DSM-pre-phash"); err == nil {
+		t.Fatal("the retired ambiguous name must no longer parse")
+	}
+	if _, err := ParseStrategy("nope"); err == nil {
+		t.Fatal("unknown names must error")
+	}
+}
+
+// TestDefaultRuntimeShared pins the lazy process default: parallel
+// queries without an explicit Runtime share one runtime instance, and
+// it matches the machine.
+func TestDefaultRuntimeShared(t *testing.T) {
+	a, b := DefaultRuntime(), DefaultRuntime()
+	if a != b {
+		t.Fatal("DefaultRuntime must return one process-wide instance")
+	}
+	if a.Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default runtime has %d workers, want GOMAXPROCS=%d",
+			a.Workers(), runtime.GOMAXPROCS(0))
+	}
+}
