@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -293,10 +294,11 @@ func BenchmarkProjectJoinParallel(b *testing.B) {
 
 // TestParallelSpeedupMultiCore is the multi-worker speedup check that
 // PR 1's benchmark note asked to gate on core count: it compares the
-// serial paper mode against the 4-worker executor on a 1M-tuple join
-// and is skipped outright when the machine cannot parallelise
-// (GOMAXPROCS or NumCPU == 1), where the comparison would only
-// measure scheduling overhead.
+// serial paper mode against the 4-worker executor on a 1M-tuple join.
+// On a single-core machine the comparison only measures scheduling
+// overhead, so the threshold is skipped — but the ratio is measured
+// and logged FIRST, so single-core CI runs still leave a trajectory
+// data point instead of skipping silently.
 func TestParallelSpeedupMultiCore(t *testing.T) {
 	if testing.Short() {
 		t.Skip("speedup measurement needs a full-size join")
@@ -305,10 +307,6 @@ func TestParallelSpeedupMultiCore(t *testing.T) {
 		t.Skip("race instrumentation distorts serial-vs-parallel timing")
 	}
 	cores := min(runtime.NumCPU(), runtime.GOMAXPROCS(0))
-	if cores <= 1 {
-		t.Skipf("single-core box (NumCPU=%d GOMAXPROCS=%d): skipping multi-worker speedup comparison",
-			runtime.NumCPU(), runtime.GOMAXPROCS(0))
-	}
 	const n = 1 << 20
 	q := benchJoinQuery(t, n)
 	measure := func(workers int) time.Duration {
@@ -330,6 +328,10 @@ func TestParallelSpeedupMultiCore(t *testing.T) {
 	speedup := float64(serial) / float64(parallel)
 	t.Logf("cpus=%d gomaxprocs=%d serial=%v parallel(4)=%v speedup=%.2fx",
 		runtime.NumCPU(), runtime.GOMAXPROCS(0), serial, parallel, speedup)
+	if cores <= 1 {
+		t.Skipf("single-core box (NumCPU=%d GOMAXPROCS=%d): measured ratio logged above, threshold skipped",
+			runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	}
 	// Wall-clock assertions are opt-in (RADIX_ASSERT_SPEEDUP=1): even
 	// on a quiet >= 4-core box, `go test ./...` runs package binaries
 	// concurrently, so an unconditional threshold would flake. The
@@ -339,6 +341,48 @@ func TestParallelSpeedupMultiCore(t *testing.T) {
 	}
 	if speedup < 1.2 {
 		t.Errorf("4-worker speedup %.2fx below 1.2x on a %d-core machine", speedup, cores)
+	}
+}
+
+// BenchmarkConcurrentProjectJoin is the shared-runtime trajectory
+// benchmark: 4 concurrent same-source NSM queries per iteration, with
+// cooperative scan sharing off and on. The share=true/share=false pair
+// is the "sharing costs nothing and may reclaim bandwidth" acceptance
+// measurement; both report gomaxprocs/cpus so archived numbers carry
+// the machine shape.
+func BenchmarkConcurrentProjectJoin(b *testing.B) {
+	const n = 256 << 10
+	const queries = 4
+	for _, share := range []bool{false, true} {
+		b.Run(fmt.Sprintf("share=%v", share), func(b *testing.B) {
+			q := benchJoinQuery(b, n)
+			q.Strategy = NSMPostDecluster
+			q.Parallelism = 2
+			rt := NewRuntime(RuntimeConfig{MaxConcurrentQueries: queries, ShareScans: share})
+			defer rt.Close()
+			q.Runtime = rt
+			// Build the cached NSM images outside the timer.
+			if _, err := ProjectJoin(q); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(queries) * n * 8)
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			b.ReportMetric(float64(runtime.NumCPU()), "cpus")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for j := 0; j < queries; j++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						if _, err := ProjectJoin(q); err != nil {
+							b.Error(err)
+						}
+					}()
+				}
+				wg.Wait()
+			}
+		})
 	}
 }
 

@@ -1,0 +1,196 @@
+// Command benchjson turns `go test -bench` output into a compact JSON
+// trajectory record and optionally gates on a committed baseline.
+//
+// It reads benchmark output on stdin, keeps the fastest ns/op seen per
+// benchmark (repeat runs via -count collapse to their minimum — the
+// least-noise estimator for a regression gate), and writes
+//
+//	{
+//	  "cores": 4, "gomaxprocs": 4, "go": "go1.24.0",
+//	  "ns_per_op": {"BenchmarkProjectJoinParallel/workers=2": 123456.0, ...}
+//	}
+//
+// Benchmark names are normalized by stripping the trailing -GOMAXPROCS
+// suffix, so records from machines with different core counts key
+// identically. With -baseline, every benchmark present in both records
+// is compared and the run fails (exit 1) when any is slower than the
+// baseline by more than -maxregress. Records from machines with a
+// different core count are incomparable — wall-clock scales with the
+// parallelism available — so the gate is skipped with a warning
+// instead of producing false verdicts; the cores field exists exactly
+// so that this check is possible.
+//
+// CI usage (the bench job):
+//
+//	go test -bench 'ProjectJoin|Concurrent' -benchtime=3x -count=3 -run '^$' . |
+//	  go run ./cmd/benchjson -out BENCH_ci.json -baseline BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Report is the trajectory record: machine shape plus ns/op per
+// benchmark.
+type Report struct {
+	Cores      int                `json:"cores"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	GoVersion  string             `json:"go"`
+	NsPerOp    map[string]float64 `json:"ns_per_op"`
+}
+
+// benchLine matches `BenchmarkName-8   3   123456 ns/op ...` and
+// captures the name without the -GOMAXPROCS suffix.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?\d+)?) ns/op`)
+
+// sameRunChecks collects repeatable -samerun flags of the form
+// "slowName|fastName|limit": fail unless ns(slowName) <= limit *
+// ns(fastName) within this run. Unlike the baseline gate, a same-run
+// ratio is machine-independent, so it holds on any runner — including
+// ones whose core count makes the committed baseline incomparable.
+type sameRunChecks []string
+
+func (s *sameRunChecks) String() string     { return fmt.Sprint(*s) }
+func (s *sameRunChecks) Set(v string) error { *s = append(*s, v); return nil }
+
+func main() {
+	out := flag.String("out", "BENCH_ci.json", "file to write the JSON record to")
+	baseline := flag.String("baseline", "", "baseline JSON record to gate against (empty = record only)")
+	maxRegress := flag.Float64("maxregress", 0.25, "fail when a benchmark is slower than baseline by more than this fraction")
+	var sameRun sameRunChecks
+	flag.Var(&sameRun, "samerun", "repeatable same-run ratio gate 'slowName|fastName|limit': fail unless ns(slow) <= limit*ns(fast)")
+	flag.Parse()
+
+	rep := Report{
+		Cores:      runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		NsPerOp:    map[string]float64{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the CI log
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if prev, ok := rep.NsPerOp[m[1]]; !ok || ns < prev {
+			rep.NsPerOp[m[1]] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail(fmt.Errorf("reading bench output: %w", err))
+	}
+	if len(rep.NsPerOp) == 0 {
+		fail(fmt.Errorf("no benchmark result lines found on stdin"))
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s (cores=%d gomaxprocs=%d %s)\n",
+		len(rep.NsPerOp), *out, rep.Cores, rep.GOMAXPROCS, rep.GoVersion)
+
+	for _, check := range sameRun {
+		parts := strings.SplitN(check, "|", 3)
+		if len(parts) != 3 {
+			fail(fmt.Errorf("-samerun %q: want 'slowName|fastName|limit'", check))
+		}
+		limit, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || limit <= 0 {
+			fail(fmt.Errorf("-samerun %q: bad limit %q", check, parts[2]))
+		}
+		slow, okS := rep.NsPerOp[parts[0]]
+		fast, okF := rep.NsPerOp[parts[1]]
+		if !okS || !okF {
+			fail(fmt.Errorf("-samerun %q: benchmark missing from this run (have %q: %v, %q: %v)",
+				check, parts[0], okS, parts[1], okF))
+		}
+		if slow > limit*fast {
+			fail(fmt.Errorf("same-run gate: %s = %.0f ns/op exceeds %.2fx %s (%.0f ns/op)",
+				parts[0], slow, limit, parts[1], fast))
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: samerun ok: %s is %.2fx %s (limit %.2fx)\n",
+			parts[0], slow/fast, parts[1], limit)
+	}
+
+	if *baseline == "" {
+		return
+	}
+	base, err := readReport(*baseline)
+	if err != nil {
+		fail(fmt.Errorf("baseline: %w", err))
+	}
+	if base.Cores != rep.Cores {
+		fmt.Fprintf(os.Stderr,
+			"benchjson: WARNING: baseline recorded on a %d-core machine, this run on %d cores — "+
+				"wall-clock is incomparable, skipping the regression gate (record kept for trajectory)\n",
+			base.Cores, rep.Cores)
+		return
+	}
+	var names []string
+	for name := range rep.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, name := range names {
+		bns, ok := base.NsPerOp[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: new benchmark, no baseline\n", name)
+			continue
+		}
+		ratio := rep.NsPerOp[name] / bns
+		if ratio > 1+*maxRegress {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.0f ns/op vs baseline %.0f (%.0f%% slower, limit %.0f%%)\n",
+				name, rep.NsPerOp[name], bns, (ratio-1)*100, *maxRegress*100)
+			regressions++
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: ok %s: %.2fx baseline\n", name, ratio)
+		}
+	}
+	for name := range base.NsPerOp {
+		if _, ok := rep.NsPerOp[name]; !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: WARNING: baseline benchmark %s missing from this run\n", name)
+		}
+	}
+	if regressions > 0 {
+		fail(fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs %s", regressions, *maxRegress*100, *baseline))
+	}
+}
+
+func readReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

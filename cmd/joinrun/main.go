@@ -9,18 +9,25 @@
 //
 // With -concurrency N > 1 it fires N copies of the query at once
 // against a shared process-wide runtime (one worker pool, fair morsel
-// scheduling, admission control) and prints per-query and aggregate
-// throughput; add -baseline to also run the N queries sequentially on
-// per-query pools and report the aggregate speedup of sharing.
+// scheduling, admission control — adaptive by default, see -admit)
+// and prints per-query and aggregate throughput; add -baseline to
+// also run the N queries sequentially on per-query pools and report
+// the aggregate speedup of sharing. -share enables cooperative scan
+// sharing (same-source scans of concurrent queries are served by one
+// circular pass) and reports per-query and total shared-scan hits;
+// -minshared M exits non-zero unless at least M hits were recorded —
+// the CI assertion that the shared path genuinely engaged.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	goruntime "runtime"
 	"sync"
 	"time"
 
+	"radixdecluster/internal/costmodel"
 	"radixdecluster/internal/exec"
 	"radixdecluster/internal/mem"
 	"radixdecluster/internal/strategy"
@@ -37,7 +44,9 @@ func main() {
 	sm := flag.String("sm", "", "smaller-side method for dsm-post: u or d (empty = auto)")
 	parallel := flag.Int("parallel", 0, "workers for the morsel-driven executor (all strategies): 0 = serial paper mode, -1 = planner decides per strategy")
 	concurrency := flag.Int("concurrency", 1, "queries to fire at once against the shared runtime (1 = single query)")
-	maxConcurrent := flag.Int("admit", 0, "admission bound of the shared runtime (0 = default)")
+	maxConcurrent := flag.Int("admit", 0, "admission bound of the shared runtime (0 = adaptive: derived from the calibrated bus-stream budget and the LLC share)")
+	share := flag.Bool("share", false, "enable cooperative scan sharing on the shared runtime (one pass feeds all queries scanning the same source)")
+	minShared := flag.Int("minshared", 0, "fail (exit 1) unless the concurrent run records at least this many shared-scan hits")
 	baseline := flag.Bool("baseline", false, "with -concurrency > 1: also run the queries sequentially on per-query pools and report the speedup")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	flag.Parse()
@@ -58,6 +67,15 @@ func main() {
 	}
 
 	if *concurrency <= 1 {
+		// The shared runtime (and with it -share/-minshared) only exists
+		// on the concurrent path; silently ignoring the assertion would
+		// let a misconfigured CI step "pass" while checking nothing.
+		if *minShared > 0 {
+			fail(fmt.Errorf("-minshared requires -concurrency > 1 (no shared runtime on a single-query run)"))
+		}
+		if *share {
+			fail(fmt.Errorf("-share requires -concurrency > 1 (no shared runtime on a single-query run)"))
+		}
 		cfg := strategy.Config{Hier: mem.Pentium4(), Parallelism: *parallel}
 		start := time.Now()
 		res, err := runOnce(cfg)
@@ -107,9 +125,16 @@ func main() {
 			float64(*concurrency)*float64(pr.ExpectedMatches)/seqElapsed.Seconds())
 	}
 
-	rt := exec.NewRuntime(0, *maxConcurrent)
+	admit := *maxConcurrent
+	admitKind := "explicit"
+	if admit <= 0 {
+		admit = costmodel.AdaptiveAdmission(mem.Pentium4(), goruntime.GOMAXPROCS(0))
+		admitKind = "adaptive"
+	}
+	rt := exec.NewRuntimeOpts(exec.Options{MaxConcurrent: admit, ShareScans: *share})
 	defer rt.Close()
-	fmt.Printf("shared runtime: %d workers, admission bound %d\n", rt.Workers(), rt.MaxConcurrent())
+	fmt.Printf("shared runtime: %d workers, admission bound %d (%s), scan sharing %v\n",
+		rt.Workers(), rt.MaxConcurrent(), admitKind, rt.ShareScans())
 
 	type outcome struct {
 		res     *strategy.Result
@@ -138,16 +163,19 @@ func main() {
 			fail(o.err)
 		}
 		total += o.res.N
-		fmt.Printf("query %d: %d tuples in %v (workers=%d queue=%v)\n",
+		fmt.Printf("query %d: %d tuples in %v (workers=%d queue=%v sharedscans=%d)\n",
 			i, o.res.N, o.elapsed.Round(time.Millisecond), o.res.Workers,
-			o.res.Phases.Queue.Round(time.Millisecond))
+			o.res.Phases.Queue.Round(time.Millisecond), o.res.Phases.SharedScanHits)
 	}
 	agg := float64(total) / wall.Seconds()
-	fmt.Printf("concurrent: %d queries on the shared runtime in %v (%.0f tuples/s aggregate)\n",
-		*concurrency, wall.Round(time.Millisecond), agg)
+	fmt.Printf("concurrent: %d queries on the shared runtime in %v (%.0f tuples/s aggregate, %d shared-scan hits)\n",
+		*concurrency, wall.Round(time.Millisecond), agg, rt.SharedScanHits())
 	if *baseline && wall > 0 {
 		fmt.Printf("speedup over sequential per-query pools: %.2fx\n",
 			seqElapsed.Seconds()/wall.Seconds())
+	}
+	if hits := rt.SharedScanHits(); hits < int64(*minShared) {
+		fail(fmt.Errorf("shared-scan hits %d below required -minshared %d", hits, *minShared))
 	}
 }
 

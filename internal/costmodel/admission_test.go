@@ -1,0 +1,84 @@
+package costmodel
+
+import (
+	"testing"
+
+	"radixdecluster/internal/mem"
+)
+
+// The adaptive bound must track the machine: never below the overlap
+// floor of 2, never above the workers it could keep busy (beyond the
+// floor), and capped by the calibrated bus-stream budget — the point
+// of deriving it instead of hard-coding max(2, workers).
+func TestAdaptiveAdmissionBounds(t *testing.T) {
+	h := mem.Pentium4()
+	streams := SaturationStreams(h)
+	for _, workers := range []int{0, 1, 2, 3, 4, 8, 16, 64, 256} {
+		got := AdaptiveAdmission(h, workers)
+		if got < 2 {
+			t.Fatalf("workers=%d: bound %d below the overlap floor", workers, got)
+		}
+		if max := workers; max >= 2 && got > max {
+			t.Fatalf("workers=%d: bound %d exceeds the worker count", workers, got)
+		}
+		if got > streams && got > 2 {
+			t.Fatalf("workers=%d: bound %d exceeds the %d-stream bus budget", workers, got, streams)
+		}
+	}
+	// Monotone: more workers never shrink the bound.
+	prev := 0
+	for workers := 1; workers <= 64; workers++ {
+		got := AdaptiveAdmission(h, workers)
+		if got < prev {
+			t.Fatalf("bound shrank from %d to %d when workers grew to %d", prev, got, workers)
+		}
+		prev = got
+	}
+	// Once workers exceed every ceiling the bound saturates at the
+	// stream budget (Pentium4's LLC-share bound is far larger).
+	if got := AdaptiveAdmission(h, 1024); got != streams {
+		t.Fatalf("saturated bound %d, want the calibrated stream budget %d", got, streams)
+	}
+}
+
+// The LLC-share ceiling: when the last-level cache is barely larger
+// than the inner level, splitting it across queries makes it useless,
+// so admission must stop at the share bound regardless of workers and
+// streams.
+func TestAdaptiveAdmissionLLCShareCeiling(t *testing.T) {
+	h := mem.Hierarchy{ClockGHz: 1, Levels: []mem.Level{
+		{Name: "L1", Size: 256 << 10, LineSize: 64, Assoc: 8, MissLatency: 10, SeqLatency: 2},
+		{Name: "L2", Size: 512 << 10, LineSize: 64, Assoc: 8, MissLatency: 100, SeqLatency: 10},
+	}}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := llcShareBound(h), 2; got != want {
+		t.Fatalf("llcShareBound = %d, want %d (512K LLC over a 256K inner level)", got, want)
+	}
+	if got := AdaptiveAdmission(h, 64); got != 2 {
+		t.Fatalf("bound %d ignores the LLC-share ceiling of 2", got)
+	}
+}
+
+// A single-cache hierarchy has no inner level to protect: only the
+// stream budget and the worker count bound admission.
+func TestAdaptiveAdmissionSingleCacheUnboundedByShare(t *testing.T) {
+	h := mem.Hierarchy{ClockGHz: 1, Levels: []mem.Level{
+		{Name: "L1", Size: 1 << 20, LineSize: 64, Assoc: 8, MissLatency: 100, SeqLatency: 10},
+	}}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	streams := SaturationStreams(h)
+	want := streams
+	if want > 16 {
+		want = 16
+	}
+	if want < 2 {
+		want = 2
+	}
+	if got := AdaptiveAdmission(h, 16); got != want {
+		t.Fatalf("bound %d, want min(workers=16, streams=%d) floored at 2 = %d", got, streams, want)
+	}
+}

@@ -58,9 +58,12 @@
 // scheduling and admission control. A Pool created by Runtime.NewPool
 // is a lease on that shared set rather than an owner of goroutines;
 // per-query owned Pools (New) remain as the degenerate single-query
-// mode. Operator output bytes are a function of the pool's nominal
-// worker count only, so owned and runtime-backed execution of the
-// same pipeline are byte-identical.
+// mode. With Options.ShareScans the runtime additionally coalesces
+// concurrent pipelines' same-source scans into one cooperative
+// circular pass (scanshare.go). Operator output bytes are a function
+// of the pool's nominal worker count only — never of runtime backing
+// or scan sharing — so all execution modes of the same pipeline are
+// byte-identical.
 //
 // Per-worker Scratch buffers keep the hot loops allocation-free.
 package exec
@@ -95,6 +98,8 @@ type Pool struct {
 	rt *Runtime // runtime-backed mode; nil when owned
 	mu sync.Mutex
 	ls *lease // admitted lease; acquired lazily on first Run
+
+	sharedHits atomic.Int64 // scans served by another pipeline's pass
 }
 
 // job is one Run invocation: a morsel counter shared by all workers
@@ -177,6 +182,10 @@ func (p *Pool) queueWait() time.Duration {
 	}
 	return time.Duration(ls.queued.Load())
 }
+
+// sharedScanHits returns how many of this pool's declared scans
+// attached to a pass another pipeline had already started.
+func (p *Pool) sharedScanHits() int64 { return p.sharedHits.Load() }
 
 func (p *Pool) worker(id int) {
 	s := &Scratch{}

@@ -98,6 +98,11 @@ type Timings struct {
 	QueueByKind [NumPhaseKinds]time.Duration
 	Admission   time.Duration
 	Total       time.Duration
+	// SharedScanHits counts the pipeline's declared scans that were
+	// served by a pass another concurrent pipeline had already started
+	// (cooperative scans; zero on serial engines, owned pools, and
+	// runtimes without ShareScans).
+	SharedScanHits int64
 }
 
 // Queue returns the total queueing time: admission wait plus the
@@ -167,10 +172,12 @@ func (p *Pipeline) Execute() (Timings, error) {
 		tm.QueueByKind[ph.Kind] += p.eng.queueWait() - q0
 		if err != nil {
 			tm.Total = time.Since(start)
+			tm.SharedScanHits = p.eng.sharedScanHits()
 			return tm, err
 		}
 	}
 	tm.Total = time.Since(start)
+	tm.SharedScanHits = p.eng.sharedScanHits()
 	return tm, nil
 }
 
@@ -216,6 +223,15 @@ func (e *Engine) queueWait() time.Duration {
 	return e.pool.queueWait()
 }
 
+// sharedScanHits returns the pool's cooperative-scan hit count (zero
+// for the serial engine).
+func (e *Engine) sharedScanHits() int64 {
+	if e.pool == nil {
+		return 0
+	}
+	return e.pool.sharedScanHits()
+}
+
 // parallel reports whether an n-item operator should run on the pool.
 func (e *Engine) parallel(n int) bool {
 	return e.pool != nil && e.pool.Workers() > 1 && n >= MinParallelN
@@ -239,6 +255,22 @@ func (e *Engine) ForRanges(n int, body func(r Range) error) error {
 		errs[t] = body(chunks[t])
 	})
 	return firstErr(errs)
+}
+
+// SharedRanges is ForRanges with a declared scan source: on a runtime
+// with scan sharing enabled, concurrent pipelines declaring equal keys
+// are served by one circular pass over the chunks (scanshare.go) —
+// late attachers start mid-circle and wrap. Everywhere else (serial
+// engines, owned pools, sharing off, zero key, sub-MinParallelN
+// inputs) it is exactly ForRanges. The body contract is the ForRanges
+// one plus chunk-order independence, which disjoint-write bodies have
+// by construction; output bytes never depend on whether a pass was
+// shared.
+func (e *Engine) SharedRanges(key ScanKey, n int, body func(Range) error) error {
+	if key == (ScanKey{}) || !e.parallel(n) || e.pool.rt == nil || !e.pool.rt.shareScans {
+		return e.ForRanges(n, body)
+	}
+	return e.pool.sharedScan(key, n, body)
 }
 
 // PartitionedJoin is the Partitioned Hash-Join producing a join-index.

@@ -219,10 +219,12 @@ func (e *Engine) HashRowsJoin(larger []int32, lw, lkey int, smaller []int32, sw,
 
 // ScanColumn extracts one attribute of every record — the strided
 // key-extraction scan of the NSM post-projection strategies, chunked
-// over record ranges.
+// over record ranges. The relation's record array is its scan source:
+// concurrent pipelines sweeping the same records (any attribute, any
+// projection list) share one pass on a scan-sharing runtime.
 func (e *Engine) ScanColumn(rel *nsm.Relation, col int) []int32 {
 	out := make([]int32, rel.Len())
-	_ = e.ForRanges(rel.Len(), func(r Range) error {
+	_ = e.SharedRanges(RowsScanKey(rel.Data, rel.Len()), rel.Len(), func(r Range) error {
 		rel.ScanColumnInto(out, col, r.Lo, r.Hi)
 		return nil
 	})
@@ -230,10 +232,11 @@ func (e *Engine) ScanColumn(rel *nsm.Relation, col int) []int32 {
 }
 
 // ScanProject materialises the paper's "NSM projection routine" scan
-// as a narrower relation, chunked over record ranges.
+// as a narrower relation, chunked over record ranges and shareable
+// with every other scan over the same records (see ScanColumn).
 func (e *Engine) ScanProject(rel *nsm.Relation, name string, cols []int) *nsm.Relation {
 	out := nsm.New(name, rel.Len(), len(cols))
-	_ = e.ForRanges(rel.Len(), func(r Range) error {
+	_ = e.SharedRanges(RowsScanKey(rel.Data, rel.Len()), rel.Len(), func(r Range) error {
 		rel.ScanProjectInto(out, r.Lo, r.Hi, cols)
 		return nil
 	})

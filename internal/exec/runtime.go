@@ -43,6 +43,7 @@ import (
 type Runtime struct {
 	workers       int
 	maxConcurrent int
+	shareScans    bool
 
 	mu       sync.Mutex
 	work     *sync.Cond // signals workers: runnable jobs or shutdown
@@ -52,6 +53,8 @@ type Runtime struct {
 
 	admitted int             // leases currently held
 	waiters  []chan struct{} // FIFO admission queue
+
+	scanReg scanRegistry // cooperative-scan registry (scanshare.go)
 
 	wg sync.WaitGroup
 }
@@ -68,22 +71,45 @@ type rtJob struct {
 	ls      *lease
 }
 
-// NewRuntime creates a runtime with the given worker count
-// (<= 0 selects runtime.GOMAXPROCS(0)) and admission bound
-// (<= 0 selects max(2, workers): enough concurrent pipelines to keep
-// the workers busy across phase boundaries and serial residues, few
-// enough that every admitted query keeps a meaningful cache share).
+// Options configures NewRuntimeOpts.
+type Options struct {
+	// Workers is the shared pool size; <= 0 selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// MaxConcurrent is the admission bound; <= 0 selects
+	// max(2, workers) — the static fallback. Callers with a memory
+	// hierarchy at hand should derive the bound from the calibrated
+	// bus-stream budget instead (costmodel.AdaptiveAdmission), which
+	// the public API does.
+	MaxConcurrent int
+	// ShareScans enables cooperative scans: concurrent pipelines
+	// declaring PhaseScan work over the same base data are served by
+	// one circular pass (scanshare.go) instead of interleaving
+	// duplicate reads.
+	ShareScans bool
+}
+
+// NewRuntime creates a runtime with the given worker count and
+// admission bound (see Options for the defaults), with scan sharing
+// off.
 func NewRuntime(workers, maxConcurrent int) *Runtime {
+	return NewRuntimeOpts(Options{Workers: workers, MaxConcurrent: maxConcurrent})
+}
+
+// NewRuntimeOpts creates a runtime from Options.
+func NewRuntimeOpts(o Options) *Runtime {
+	workers := o.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	maxConcurrent := o.MaxConcurrent
 	if maxConcurrent <= 0 {
 		maxConcurrent = workers
 		if maxConcurrent < 2 {
 			maxConcurrent = 2
 		}
 	}
-	rt := &Runtime{workers: workers, maxConcurrent: maxConcurrent}
+	rt := &Runtime{workers: workers, maxConcurrent: maxConcurrent, shareScans: o.ShareScans}
 	rt.work = sync.NewCond(&rt.mu)
 	rt.wg.Add(workers)
 	for w := 0; w < workers; w++ {

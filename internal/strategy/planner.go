@@ -135,6 +135,7 @@ func phasesFromTimings(t exec.Timings) Phases {
 		ProjectSmaller: t.ByKind[exec.PhaseProjectSmaller],
 		Decluster:      t.ByKind[exec.PhaseDecluster],
 		Queue:          t.Queue(),
+		SharedScanHits: t.SharedScanHits,
 		Total:          t.Total,
 	}
 }

@@ -133,16 +133,20 @@ type Phases struct {
 	// component precedes the first phase and is contained only in
 	// Total. Zero for serial runs and per-query pools.
 	Queue time.Duration
+	// SharedScanHits counts this run's scans that were served by a
+	// pass another concurrent query had already started (cooperative
+	// scans; zero without a scan-sharing runtime).
+	SharedScanHits int64
 	// Total is the end-to-end time.
 	Total time.Duration
 }
 
 func (p Phases) String() string {
-	return fmt.Sprintf("scan=%v join=%v reorder=%v projL=%v projS=%v declust=%v queue=%v total=%v",
+	return fmt.Sprintf("scan=%v join=%v reorder=%v projL=%v projS=%v declust=%v queue=%v sharedscans=%d total=%v",
 		p.Scan.Round(time.Microsecond), p.Join.Round(time.Microsecond),
 		p.ReorderJI.Round(time.Microsecond), p.ProjectLarger.Round(time.Microsecond),
 		p.ProjectSmaller.Round(time.Microsecond), p.Decluster.Round(time.Microsecond),
-		p.Queue.Round(time.Microsecond), p.Total.Round(time.Microsecond))
+		p.Queue.Round(time.Microsecond), p.SharedScanHits, p.Total.Round(time.Microsecond))
 }
 
 // Result is a completed project-join.
@@ -438,12 +442,14 @@ func DSMPre(larger, smaller DSMSide, cfg Config) (*Result, error) {
 
 // stitchRows builds the [key | π columns] wide tuples of a
 // pre-projection scan, column at a time, chunked on the engine
-// (chunks write disjoint record ranges).
+// (chunks write disjoint record ranges). The side's key column is the
+// declared scan source: concurrent pre-projection queries over the
+// same DSM side fetch its columns in one shared pass.
 func stitchRows(e *exec.Engine, s DSMSide) []int32 {
 	n := len(s.OIDs)
 	w := 1 + len(s.Cols)
 	rows := make([]int32, n*w)
-	_ = e.ForRanges(n, func(r exec.Range) error {
+	_ = e.SharedRanges(exec.ColumnScanKey(s.Keys, n), n, func(r exec.Range) error {
 		for i := r.Lo; i < r.Hi; i++ {
 			rows[i*w] = s.Keys[i]
 		}

@@ -7,7 +7,6 @@ import (
 	"radixdecluster/internal/core"
 	"radixdecluster/internal/costmodel"
 	"radixdecluster/internal/join"
-	"radixdecluster/internal/nsm"
 	"radixdecluster/internal/radix"
 	"radixdecluster/internal/strategy"
 )
@@ -149,6 +148,10 @@ type Timing struct {
 	Decluster      time.Duration
 	Queue          time.Duration
 	Total          time.Duration
+	// SharedScanHits counts this query's scans that were served by a
+	// cooperative pass another concurrent query had already started
+	// (zero unless the runtime has RuntimeConfig.ShareScans on).
+	SharedScanHits int64
 }
 
 // Result is a completed project-join. Columns appear in result order:
@@ -261,18 +264,14 @@ func dsmSide(r *Relation, key string, proj []string) (strategy.DSMSide, error) {
 }
 
 func nsmSide(r *Relation, key string, proj []string) (strategy.NSMSide, error) {
-	// Materialise the NSM image of the relation: record scans will
-	// read the wide rows, as a row store would.
+	// The NSM image of the relation — record scans will read the wide
+	// rows, as a row store would — is built once per Relation and
+	// shared by every query (nsmImage), so concurrent queries present
+	// one stable scan source to the runtime.
 	names := r.ColumnNames()
-	cols := make([][]int32, len(names))
 	keyIdx := -1
 	projIdx := make([]int, 0, len(proj))
 	for i, n := range names {
-		c, err := r.Column(n)
-		if err != nil {
-			return strategy.NSMSide{}, err
-		}
-		cols[i] = c
 		if n == key {
 			keyIdx = i
 		}
@@ -292,7 +291,7 @@ func nsmSide(r *Relation, key string, proj []string) (strategy.NSMSide, error) {
 		}
 		projIdx = append(projIdx, found)
 	}
-	rel, err := nsm.FromColumns(r.Name, cols...)
+	rel, err := r.nsmImage()
 	if err != nil {
 		return strategy.NSMSide{}, err
 	}
@@ -307,6 +306,7 @@ func buildResult(q JoinQuery, res *strategy.Result) (*Result, error) {
 			Scan: res.Phases.Scan, Join: res.Phases.Join, ReorderJI: res.Phases.ReorderJI,
 			ProjectLarger: res.Phases.ProjectLarger, ProjectSmaller: res.Phases.ProjectSmaller,
 			Decluster: res.Phases.Decluster, Queue: res.Phases.Queue, Total: res.Phases.Total,
+			SharedScanHits: res.Phases.SharedScanHits,
 		},
 		Plan: fmt.Sprintf("joinbits=%d largerbits=%d smallerbits=%d window=%d methods=%c/%c workers=%d",
 			res.JoinBits, res.LargerBits, res.SmallerBits, res.Window,

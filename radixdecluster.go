@@ -56,10 +56,12 @@ package radixdecluster
 
 import (
 	"fmt"
+	"sync"
 
 	"radixdecluster/internal/bat"
 	"radixdecluster/internal/calibrator"
 	"radixdecluster/internal/mem"
+	"radixdecluster/internal/nsm"
 )
 
 // OID is a dense object identifier: record number in [0,N).
@@ -148,9 +150,22 @@ type Column struct {
 type Relation struct {
 	Name string
 	tab  *bat.Table
+
+	// nsmOnce caches the row-major image NSM strategies scan, so every
+	// query over this relation — concurrent ones included — reads the
+	// same record array. That makes the image a stable scan source:
+	// with RuntimeConfig.ShareScans, concurrent NSM queries over one
+	// relation are served by a single cooperative pass.
+	nsmOnce sync.Once
+	nsmRel  *nsm.Relation
+	nsmErr  error
 }
 
-// NewRelation builds a relation from columns (not copied).
+// NewRelation builds a relation from columns (not copied). The column
+// slices must not be mutated once the relation has been queried:
+// queries read the live slices (DSM strategies) and a row-major image
+// cached on first NSM-strategy use (nsmImage), so post-query mutation
+// would make the two storage views disagree.
 func NewRelation(name string, cols ...Column) (*Relation, error) {
 	bcols := make([]*bat.Column, len(cols))
 	for i, c := range cols {
@@ -169,7 +184,8 @@ func (r *Relation) Len() int { return r.tab.Len() }
 // Width returns the number of columns (the paper's ω).
 func (r *Relation) Width() int { return r.tab.Width() }
 
-// Column returns the named column's values (a view, not a copy).
+// Column returns the named column's values (a view, not a copy; see
+// NewRelation for the no-mutation-after-query contract).
 func (r *Relation) Column(name string) ([]int32, error) {
 	c, err := r.tab.Column(name)
 	if err != nil {
@@ -185,6 +201,25 @@ func (r *Relation) ColumnNames() []string {
 		out[i] = r.tab.ColumnAt(i).Name
 	}
 	return out
+}
+
+// nsmImage returns the relation's row-major (NSM) image — every
+// column, declaration order — built once and shared by all queries.
+func (r *Relation) nsmImage() (*nsm.Relation, error) {
+	r.nsmOnce.Do(func() {
+		names := r.ColumnNames()
+		cols := make([][]int32, len(names))
+		for i, n := range names {
+			c, err := r.Column(n)
+			if err != nil {
+				r.nsmErr = err
+				return
+			}
+			cols[i] = c
+		}
+		r.nsmRel, r.nsmErr = nsm.FromColumns(r.Name, cols...)
+	})
+	return r.nsmRel, r.nsmErr
 }
 
 func (r *Relation) columns(names []string) ([][]int32, error) {

@@ -2,8 +2,10 @@ package radixdecluster
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
+	"radixdecluster/internal/costmodel"
 	"radixdecluster/internal/exec"
 )
 
@@ -16,10 +18,24 @@ type RuntimeConfig struct {
 	Workers int
 	// MaxConcurrentQueries is the admission bound: at most this many
 	// parallel queries execute at once, the rest wait in FIFO order.
-	// <= 0 selects max(2, Workers). Bounding concurrency keeps every
-	// admitted query's cache share and memory-bandwidth share large
-	// enough that the cost model's plans stay meaningful.
+	// <= 0 derives the bound from the machine itself
+	// (costmodel.AdaptiveAdmission on Hier): the calibrated number of
+	// access streams that saturate the memory bus, further capped so
+	// each admitted query's modeled LLC share stays above the inner
+	// cache levels — admission tracks what the bandwidth ceiling says
+	// the machine can actually overlap, instead of a static constant.
 	MaxConcurrentQueries int
+	// ShareScans enables cooperative scans: when concurrent queries
+	// declare scan work over the same base data (the same relation's
+	// records, the same DSM side), the runtime serves them with one
+	// circular pass instead of interleaving duplicate reads — late
+	// arrivals attach mid-circle and wrap. Results are byte-identical
+	// either way; Timing.SharedScanHits reports how often a query's
+	// scans rode along on another query's pass.
+	ShareScans bool
+	// Hier drives the adaptive admission derivation (zero value: the
+	// paper's Pentium 4, like every other planning default).
+	Hier Hierarchy
 }
 
 // Runtime is the process-wide execution engine for concurrent
@@ -45,7 +61,17 @@ type Runtime struct {
 // on each JoinQuery or pass queries through it. Close releases the
 // workers.
 func NewRuntime(cfg RuntimeConfig) *Runtime {
-	return &Runtime{rt: exec.NewRuntime(cfg.Workers, cfg.MaxConcurrentQueries)}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	admit := cfg.MaxConcurrentQueries
+	if admit <= 0 {
+		admit = costmodel.AdaptiveAdmission(cfg.Hier.internal(), workers)
+	}
+	return &Runtime{rt: exec.NewRuntimeOpts(exec.Options{
+		Workers: workers, MaxConcurrent: admit, ShareScans: cfg.ShareScans,
+	})}
 }
 
 // Workers returns the shared pool size.
@@ -63,6 +89,16 @@ func (r *Runtime) ActiveQueries() int { return r.rt.ActiveQueries() }
 // QueuedQueries returns the number of parallel queries waiting for
 // admission.
 func (r *Runtime) QueuedQueries() int { return r.rt.QueuedQueries() }
+
+// ShareScans reports whether this runtime coalesces same-source scans
+// of concurrent queries into one cooperative pass.
+func (r *Runtime) ShareScans() bool { return r.rt.ShareScans() }
+
+// SharedScanHits returns the total number of scans — across every
+// query this runtime has executed — that were served by a pass another
+// query had already started, i.e. base-data sweeps that did not pay
+// their own memory traffic.
+func (r *Runtime) SharedScanHits() int64 { return r.rt.SharedScanHits() }
 
 // Close stops the runtime's workers. The runtime must be idle (no
 // executing or admission-waiting queries). The process default

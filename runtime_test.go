@@ -184,15 +184,14 @@ func TestRuntimeAdmissionSerializesQueries(t *testing.T) {
 // deliver strictly higher aggregate throughput than the same 4
 // queries run back to back on per-query pools (the pre-runtime
 // architecture, still reachable through internal/strategy without a
-// Runtime). Skips on single-core machines, where there is no
-// parallelism to reclaim, and under the race detector, which distorts
-// wall-clock.
+// Runtime). The threshold only applies on multi-core machines, where
+// there is genuine parallelism to reclaim — but the ratio is measured
+// and logged on every box first, so single-core CI runs still record
+// a comparable trajectory number instead of skipping silently. Skips
+// under the race detector, which distorts wall-clock.
 func TestConcurrentThroughputMultiCore(t *testing.T) {
 	if raceEnabled {
 		t.Skip("wall-clock comparison is meaningless under the race detector")
-	}
-	if runtime.GOMAXPROCS(0) < 2 || runtime.NumCPU() < 2 {
-		t.Skip("needs a multi-core machine")
 	}
 	if testing.Short() {
 		t.Skip("throughput measurement needs full-size relations")
@@ -245,6 +244,10 @@ func TestConcurrentThroughputMultiCore(t *testing.T) {
 
 	t.Logf("4 sequential per-query-pool runs: %v; 4 concurrent shared-runtime runs: %v (%.2fx)",
 		sequential, concurrent, sequential.Seconds()/concurrent.Seconds())
+	if runtime.GOMAXPROCS(0) < 2 || runtime.NumCPU() < 2 {
+		t.Skipf("single-core box (NumCPU=%d GOMAXPROCS=%d): measured ratio logged above, threshold skipped",
+			runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	}
 	if concurrent >= sequential {
 		t.Fatalf("shared runtime aggregate throughput not higher: concurrent %v vs sequential %v",
 			concurrent, sequential)

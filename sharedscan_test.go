@@ -1,0 +1,236 @@
+package radixdecluster
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"radixdecluster/internal/costmodel"
+	"radixdecluster/internal/mem"
+	"radixdecluster/internal/workload"
+)
+
+// Shared-scan correctness matrix: concurrent queries whose scan
+// sources are identical, overlapping, or disjoint must all return
+// exactly the bytes of their serial (paper-mode) executions on a
+// scan-sharing runtime. Run under -race in CI, this is the contract
+// that cooperative passes change memory traffic only, never results.
+func TestSharedScansConcurrentByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs full-size relations to clear MinParallelN")
+	}
+	const pi = 2
+	larger1, smaller1 := workloadRelations(t,
+		workload.Params{N: 48 << 10, Omega: pi + 1, HitRate: 1, SelLarger: 1, SelSmaller: 1, Seed: 201}, pi)
+	larger2, smaller2 := workloadRelations(t,
+		workload.Params{N: 32 << 10, Omega: pi + 1, HitRate: 1, SelLarger: 1, SelSmaller: 1, Seed: 202}, pi)
+
+	rt := NewRuntime(RuntimeConfig{Workers: 4, MaxConcurrentQueries: 8, ShareScans: true})
+	defer rt.Close()
+	if !rt.ShareScans() {
+		t.Fatal("runtime does not report scan sharing on")
+	}
+
+	type testQuery struct {
+		name string
+		q    JoinQuery
+	}
+	var queries []testQuery
+	add := func(name string, l, s *Relation, st Strategy) {
+		queries = append(queries, testQuery{name: name, q: JoinQuery{
+			Larger: l, Smaller: s,
+			LargerKey: "key", SmallerKey: "key",
+			LargerProject: projNames(pi), SmallerProject: projNames(pi),
+			Strategy: st,
+		}})
+	}
+	// Identical sources: four queries scanning exactly the same pair.
+	for i := 0; i < 4; i++ {
+		add(fmt.Sprintf("identical/%d", i), larger1, smaller1, NSMPostDecluster)
+	}
+	// Overlapping sources: same larger relation, different smaller —
+	// and different strategies, so only the larger-side sweep can be
+	// co-served.
+	add("overlap/nsm-pre-hash", larger1, smaller2, NSMPreHash)
+	add("overlap/nsm-post-jive", larger1, smaller1, NSMPostJive)
+	// Disjoint sources, including a DSM pre-projection whose scan
+	// source is the key column rather than an NSM record array.
+	add("disjoint/nsm-pre-phash", larger2, smaller2, NSMPrePhash)
+	add("disjoint/dsm-pre", larger2, smaller2, DSMPre)
+
+	want := make([]*Result, len(queries))
+	for i, tq := range queries {
+		q := tq.q
+		q.Parallelism = 0
+		res, err := ProjectJoin(q)
+		if err != nil {
+			t.Fatalf("%s serial: %v", tq.name, err)
+		}
+		want[i] = res
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(queries))
+	got := make([]*Result, len(queries))
+	for i, tq := range queries {
+		wg.Add(1)
+		go func(i int, q JoinQuery, name string) {
+			defer wg.Done()
+			q.Parallelism = 4
+			q.Runtime = rt
+			res, err := ProjectJoin(q)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", name, err)
+				return
+			}
+			got[i] = res
+		}(i, tq.q, tq.name)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i].Cols, want[i].Cols) {
+			t.Fatalf("%s: shared-runtime result differs from serial bytes", queries[i].name)
+		}
+		if got[i].Timing.SharedScanHits < 0 {
+			t.Fatalf("%s: negative shared-scan hits", queries[i].name)
+		}
+	}
+	if rt.ActiveQueries() != 0 || rt.QueuedQueries() != 0 {
+		t.Fatalf("runtime not drained: %d active, %d queued", rt.ActiveQueries(), rt.QueuedQueries())
+	}
+}
+
+// Queries over disjoint relations can never co-serve a pass: the hit
+// counters must stay zero (this is deterministic — keys differ).
+func TestSharedScansDisjointSourcesNoHits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs full-size relations to clear MinParallelN")
+	}
+	const pi = 1
+	larger1, smaller1 := workloadRelations(t,
+		workload.Params{N: 32 << 10, Omega: pi + 1, HitRate: 1, SelLarger: 1, SelSmaller: 1, Seed: 203}, pi)
+	larger2, smaller2 := workloadRelations(t,
+		workload.Params{N: 32 << 10, Omega: pi + 1, HitRate: 1, SelLarger: 1, SelSmaller: 1, Seed: 204}, pi)
+	rt := NewRuntime(RuntimeConfig{Workers: 2, MaxConcurrentQueries: 2, ShareScans: true})
+	defer rt.Close()
+	var wg sync.WaitGroup
+	for _, rels := range [][2]*Relation{{larger1, smaller1}, {larger2, smaller2}} {
+		wg.Add(1)
+		go func(l, s *Relation) {
+			defer wg.Done()
+			res, err := ProjectJoin(JoinQuery{
+				Larger: l, Smaller: s,
+				LargerKey: "key", SmallerKey: "key",
+				LargerProject: projNames(pi), SmallerProject: projNames(pi),
+				Strategy: NSMPostDecluster, Parallelism: 2, Runtime: rt,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if res.Timing.SharedScanHits != 0 {
+				t.Errorf("disjoint query reported %d shared hits", res.Timing.SharedScanHits)
+			}
+		}(rels[0], rels[1])
+	}
+	wg.Wait()
+	if rt.SharedScanHits() != 0 {
+		t.Fatalf("runtime recorded %d hits for disjoint sources", rt.SharedScanHits())
+	}
+}
+
+// Same-source concurrent queries must eventually report shared-scan
+// hits through the public Timing surface. Overlap depends on
+// scheduling, so the batch retries a few times — but every batch's
+// results are still byte-checked against the serial reference.
+func TestSharedScansReportHits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs full-size relations to clear MinParallelN")
+	}
+	const pi = 2
+	larger, smaller := workloadRelations(t,
+		workload.Params{N: 256 << 10, Omega: pi + 1, HitRate: 1, SelLarger: 1, SelSmaller: 1, Seed: 205}, pi)
+	q := JoinQuery{
+		Larger: larger, Smaller: smaller,
+		LargerKey: "key", SmallerKey: "key",
+		LargerProject: projNames(pi), SmallerProject: projNames(pi),
+		Strategy: NSMPostDecluster,
+	}
+	want, err := ProjectJoin(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(RuntimeConfig{Workers: 4, MaxConcurrentQueries: 4, ShareScans: true})
+	defer rt.Close()
+	const attempts = 10
+	for attempt := 0; attempt < attempts; attempt++ {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var queryHits int64
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cq := q
+				cq.Parallelism = 4
+				cq.Runtime = rt
+				res, err := ProjectJoin(cq)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !reflect.DeepEqual(res.Cols, want.Cols) {
+					t.Error("shared run differs from serial bytes")
+					return
+				}
+				mu.Lock()
+				queryHits += res.Timing.SharedScanHits
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		if rt.SharedScanHits() > 0 {
+			if queryHits == 0 {
+				t.Fatal("runtime counted hits but no query's Timing reported them")
+			}
+			t.Logf("attempt %d: %d shared-scan hits (%d via query timings)",
+				attempt, rt.SharedScanHits(), queryHits)
+			return
+		}
+	}
+	t.Fatalf("no shared-scan hits across %d batches of 4 same-source queries", attempts)
+}
+
+// The public adaptive-admission surface: a zero MaxConcurrentQueries
+// derives the bound from the calibrated machine model instead of the
+// old static max(2, workers).
+func TestRuntimeAdaptiveAdmissionDefault(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8, 32} {
+		rt := NewRuntime(RuntimeConfig{Workers: workers})
+		want := costmodel.AdaptiveAdmission(mem.Pentium4(), workers)
+		got := rt.MaxConcurrentQueries()
+		rt.Close()
+		if got != want {
+			t.Fatalf("workers=%d: adaptive bound %d, want %d", workers, got, want)
+		}
+		if got < 2 {
+			t.Fatalf("workers=%d: bound %d below overlap floor", workers, got)
+		}
+		if workers >= 2 && got > workers {
+			t.Fatalf("workers=%d: bound %d exceeds workers", workers, got)
+		}
+	}
+	// An explicit bound still wins.
+	rt := NewRuntime(RuntimeConfig{Workers: 8, MaxConcurrentQueries: 3})
+	defer rt.Close()
+	if rt.MaxConcurrentQueries() != 3 {
+		t.Fatalf("explicit bound not honored: %d", rt.MaxConcurrentQueries())
+	}
+}
