@@ -14,11 +14,20 @@
 // suffix, so records from machines with different core counts key
 // identically. With -baseline, every benchmark present in both records
 // is compared and the run fails (exit 1) when any is slower than the
-// baseline by more than -maxregress. Records from machines with a
-// different core count are incomparable — wall-clock scales with the
-// parallelism available — so the gate is skipped with a warning
-// instead of producing false verdicts; the cores field exists exactly
-// so that this check is possible.
+// baseline by more than -maxregress.
+//
+// The baseline file holds a SET of records — a JSON array with one
+// record per machine shape — because wall-clock only compares within
+// a core count: the gate selects the record matching this run's
+// cores. A bare single-record baseline (the old format) still parses.
+// When no record matches, the gate cannot produce a true verdict and
+// is skipped — explicitly: every gated run ends with exactly one
+//
+//	benchjson: VERDICT: gate PASSED ... | gate FAILED ... | gate SKIPPED ...
+//
+// line, and the SKIPPED line says how to stop it skipping (commit
+// this runner's BENCH_ci.json into the baseline array). A silent skip
+// once hid a dead gate for several PRs; the verdict line is the fix.
 //
 // CI usage (the bench job):
 //
@@ -136,15 +145,20 @@ func main() {
 	if *baseline == "" {
 		return
 	}
-	base, err := readReport(*baseline)
+	records, err := readBaseline(*baseline)
 	if err != nil {
 		fail(fmt.Errorf("baseline: %w", err))
 	}
-	if base.Cores != rep.Cores {
+	base := matchCores(records, rep.Cores)
+	if base == nil {
+		have := make([]string, 0, len(records))
+		for _, r := range records {
+			have = append(have, strconv.Itoa(r.Cores))
+		}
 		fmt.Fprintf(os.Stderr,
-			"benchjson: WARNING: baseline recorded on a %d-core machine, this run on %d cores — "+
-				"wall-clock is incomparable, skipping the regression gate (record kept for trajectory)\n",
-			base.Cores, rep.Cores)
+			"benchjson: VERDICT: gate SKIPPED (no baseline record for %d cores, have [%s] — wall-clock "+
+				"only compares within a core count; commit this runner's %s into the %s array to arm the gate)\n",
+			rep.Cores, strings.Join(have, " "), *out, *baseline)
 		return
 	}
 	var names []string
@@ -152,13 +166,14 @@ func main() {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	regressions := 0
+	regressions, compared := 0, 0
 	for _, name := range names {
 		bns, ok := base.NsPerOp[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: new benchmark, no baseline\n", name)
 			continue
 		}
+		compared++
 		ratio := rep.NsPerOp[name] / bns
 		if ratio > 1+*maxRegress {
 			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.0f ns/op vs baseline %.0f (%.0f%% slower, limit %.0f%%)\n",
@@ -174,20 +189,49 @@ func main() {
 		}
 	}
 	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: VERDICT: gate FAILED (%d of %d compared benchmarks regressed more than %.0f%% vs the %d-core baseline)\n",
+			regressions, compared, *maxRegress*100, base.Cores)
 		fail(fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs %s", regressions, *maxRegress*100, *baseline))
 	}
+	if compared == 0 {
+		// Every benchmark took the no-baseline branch: nothing was
+		// gated, and calling that PASSED would resurrect the silent
+		// dead gate the verdict line exists to kill.
+		fmt.Fprintf(os.Stderr, "benchjson: VERDICT: gate SKIPPED (the %d-core baseline record shares no benchmark names "+
+			"with this run — reseed it from this runner's %s)\n", base.Cores, *out)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: VERDICT: gate PASSED (%d of %d benchmarks compared, all within %.0f%% of the %d-core baseline)\n",
+		compared, len(names), *maxRegress*100, base.Cores)
 }
 
-func readReport(path string) (*Report, error) {
+// readBaseline parses a baseline file: a JSON array of per-machine
+// records, or (the legacy format) one bare record.
+func readBaseline(path string) ([]Report, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
+	}
+	var rs []Report
+	if err := json.Unmarshal(buf, &rs); err == nil {
+		return rs, nil
 	}
 	var r Report
 	if err := json.Unmarshal(buf, &r); err != nil {
 		return nil, err
 	}
-	return &r, nil
+	return []Report{r}, nil
+}
+
+// matchCores selects the baseline record recorded on a machine with
+// this core count, nil when none was.
+func matchCores(rs []Report, cores int) *Report {
+	for i := range rs {
+		if rs[i].Cores == cores {
+			return &rs[i]
+		}
+	}
+	return nil
 }
 
 func fail(err error) {

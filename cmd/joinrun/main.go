@@ -17,6 +17,15 @@
 // circular pass) and reports per-query and total shared-scan hits;
 // -minshared M exits non-zero unless at least M hits were recorded —
 // the CI assertion that the shared path genuinely engaged.
+//
+// Scheduler flags: -steal topo|any|off picks the work-stealing
+// policy, -pin pins workers to cores (best-effort), -schedstats
+// prints the affinity scheduler's counters (local hits, steals by
+// topology distance, local-hit rate) per query and runtime-wide, and
+// -minlocal M / -minlocalrate R exit non-zero unless the runtime
+// recorded at least M local hits / a local-hit rate of at least R —
+// the CI assertions that partition-affine placement genuinely
+// engaged.
 package main
 
 import (
@@ -47,6 +56,11 @@ func main() {
 	maxConcurrent := flag.Int("admit", 0, "admission bound of the shared runtime (0 = adaptive: derived from the calibrated bus-stream budget and the LLC share)")
 	share := flag.Bool("share", false, "enable cooperative scan sharing on the shared runtime (one pass feeds all queries scanning the same source)")
 	minShared := flag.Int("minshared", 0, "fail (exit 1) unless the concurrent run records at least this many shared-scan hits")
+	stealFlag := flag.String("steal", "topo", "work-stealing policy of the shared runtime: topo (topology order), any, off")
+	pin := flag.Bool("pin", false, "pin runtime workers to cores (best-effort sched_setaffinity)")
+	schedStats := flag.Bool("schedstats", false, "print affinity-scheduler counters (local hits, steals by distance) per query and runtime-wide")
+	minLocal := flag.Int("minlocal", 0, "fail (exit 1) unless the runtime records at least this many local-hit morsels")
+	minLocalRate := flag.Float64("minlocalrate", 0, "fail (exit 1) unless the runtime's local-hit rate reaches this fraction")
 	baseline := flag.Bool("baseline", false, "with -concurrency > 1: also run the queries sequentially on per-query pools and report the speedup")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	flag.Parse()
@@ -66,15 +80,27 @@ func main() {
 		return runStrategy(*strat, pr, *pi, *sel, *lm, *sm, cfg)
 	}
 
+	steal, err := exec.ParseStealPolicy(*stealFlag)
+	if err != nil {
+		fail(err)
+	}
+
 	if *concurrency <= 1 {
-		// The shared runtime (and with it -share/-minshared) only exists
-		// on the concurrent path; silently ignoring the assertion would
-		// let a misconfigured CI step "pass" while checking nothing.
+		// The shared runtime (and with it -share/-minshared and the
+		// scheduler assertions) only exists on the concurrent path;
+		// silently ignoring an assertion would let a misconfigured CI
+		// step "pass" while checking nothing.
 		if *minShared > 0 {
 			fail(fmt.Errorf("-minshared requires -concurrency > 1 (no shared runtime on a single-query run)"))
 		}
 		if *share {
 			fail(fmt.Errorf("-share requires -concurrency > 1 (no shared runtime on a single-query run)"))
+		}
+		if *minLocal > 0 || *minLocalRate > 0 {
+			fail(fmt.Errorf("-minlocal/-minlocalrate require -concurrency > 1 (no shared runtime on a single-query run)"))
+		}
+		if *pin || *schedStats || steal != exec.StealTopo {
+			fail(fmt.Errorf("-pin/-schedstats/-steal require -concurrency > 1 (single-query runs use a per-query pool with no placement, stealing or pinning)"))
 		}
 		cfg := strategy.Config{Hier: mem.Pentium4(), Parallelism: *parallel}
 		start := time.Now()
@@ -131,10 +157,13 @@ func main() {
 		admit = costmodel.AdaptiveAdmission(mem.Pentium4(), goruntime.GOMAXPROCS(0))
 		admitKind = "adaptive"
 	}
-	rt := exec.NewRuntimeOpts(exec.Options{MaxConcurrent: admit, ShareScans: *share})
+	rt := exec.NewRuntimeOpts(exec.Options{MaxConcurrent: admit, ShareScans: *share,
+		Steal: steal, PinWorkers: *pin})
 	defer rt.Close()
-	fmt.Printf("shared runtime: %d workers, admission bound %d (%s), scan sharing %v\n",
-		rt.Workers(), rt.MaxConcurrent(), admitKind, rt.ShareScans())
+	topo := rt.Topology()
+	fmt.Printf("shared runtime: %d workers, admission bound %d (%s), scan sharing %v, steal %v, topology %s (%d cpus, %d nodes), pinned %d\n",
+		rt.Workers(), rt.MaxConcurrent(), admitKind, rt.ShareScans(), rt.Steal(),
+		topo.Source, len(topo.CPUs), topo.Nodes(), rt.PinnedWorkers())
 
 	type outcome struct {
 		res     *strategy.Result
@@ -166,6 +195,9 @@ func main() {
 		fmt.Printf("query %d: %d tuples in %v (workers=%d queue=%v sharedscans=%d)\n",
 			i, o.res.N, o.elapsed.Round(time.Millisecond), o.res.Workers,
 			o.res.Phases.Queue.Round(time.Millisecond), o.res.Phases.SharedScanHits)
+		if *schedStats {
+			fmt.Printf("query %d sched: %v\n", i, o.res.Phases.Sched)
+		}
 	}
 	agg := float64(total) / wall.Seconds()
 	fmt.Printf("concurrent: %d queries on the shared runtime in %v (%.0f tuples/s aggregate, %d shared-scan hits)\n",
@@ -174,8 +206,19 @@ func main() {
 		fmt.Printf("speedup over sequential per-query pools: %.2fx\n",
 			seqElapsed.Seconds()/wall.Seconds())
 	}
+	sched := rt.SchedStats()
+	if *schedStats {
+		fmt.Printf("runtime sched: %v (affinity misses %d)\n", sched, sched.AffinityMisses())
+	}
 	if hits := rt.SharedScanHits(); hits < int64(*minShared) {
 		fail(fmt.Errorf("shared-scan hits %d below required -minshared %d", hits, *minShared))
+	}
+	if sched.LocalHits < int64(*minLocal) {
+		fail(fmt.Errorf("local-hit morsels %d below required -minlocal %d", sched.LocalHits, *minLocal))
+	}
+	if *minLocalRate > 0 && sched.LocalHitRate() < *minLocalRate {
+		fail(fmt.Errorf("local-hit rate %.2f below required -minlocalrate %.2f (%v)",
+			sched.LocalHitRate(), *minLocalRate, sched))
 	}
 }
 

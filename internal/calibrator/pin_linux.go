@@ -1,0 +1,45 @@
+//go:build linux
+
+package calibrator
+
+// Worker pinning on Linux: sched_setaffinity(2) on the calling thread.
+// Used by the execution runtime when RuntimeConfig.PinWorkers is set —
+// each worker locks its goroutine to an OS thread and pins that thread
+// to its assigned CPU, so the "home worker" of the affinity scheduler
+// is a physical core with stable private caches, not a goroutine the
+// Go scheduler migrates freely. No external dependency: the raw
+// syscall is issued directly (the x/sys module is not vendored here).
+
+import (
+	"fmt"
+	"syscall"
+	"unsafe"
+)
+
+// pinMaskWords sizes the affinity bitmask: 16 * 64 = 1024 CPUs, the
+// kernel's historical CPU_SETSIZE.
+const pinMaskWords = 16
+
+// PinThread pins the CALLING OS THREAD to the given CPU. The caller
+// must hold runtime.LockOSThread() for the pin to mean anything — an
+// unlocked goroutine migrates to other (unpinned) threads. Returns an
+// error when the kernel refuses (cpuset/container restrictions,
+// seccomp): callers should treat pinning as best-effort and proceed
+// unpinned.
+func PinThread(cpu int) error {
+	if cpu < 0 || cpu >= pinMaskWords*64 {
+		return fmt.Errorf("calibrator: cpu %d outside the pinnable range [0,%d)", cpu, pinMaskWords*64)
+	}
+	var mask [pinMaskWords]uint64
+	mask[cpu/64] = 1 << (uint(cpu) % 64)
+	// pid 0 = the calling thread.
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		return fmt.Errorf("calibrator: sched_setaffinity(cpu %d): %w", cpu, errno)
+	}
+	return nil
+}
+
+// CanPin reports whether worker pinning is implemented on this OS.
+func CanPin() bool { return true }

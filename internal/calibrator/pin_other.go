@@ -1,0 +1,17 @@
+//go:build !linux
+
+package calibrator
+
+import "fmt"
+
+// PinThread is unavailable off Linux: there is no portable
+// thread-affinity syscall, so pinning degrades to a no-op error and
+// the runtime's affinity scheduler keeps working on goroutine homes
+// alone (placement still steers morsels to consistent workers; only
+// the worker-to-core binding is lost).
+func PinThread(cpu int) error {
+	return fmt.Errorf("calibrator: thread pinning not supported on this OS (cpu %d)", cpu)
+}
+
+// CanPin reports whether worker pinning is implemented on this OS.
+func CanPin() bool { return false }

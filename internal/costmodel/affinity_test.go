@@ -1,0 +1,73 @@
+package costmodel
+
+import (
+	"testing"
+
+	"radixdecluster/internal/mem"
+)
+
+// ForAffinity must shrink only the private levels' effective capacity:
+// a repeated traversal that fits L1 under perfect affinity but not
+// under a shuffled schedule gets more expensive, while LLC-resident
+// working sets are unaffected.
+func TestForAffinityShrinksPrivateLevels(t *testing.T) {
+	h := mem.Pentium4()
+	m := Model{H: h}
+	l1 := h.Caches()[0]
+	llc := h.LLC()
+
+	// A region at ~90% of L1: fits the full private capacity, spills
+	// under the (1+hit)/2 shrink at hit=0.1 (0.55 share).
+	r := Region{N: l1.Size * 9 / 10 / 4, Width: 4}
+	ma := m.ForAffinity(0.1)
+	base := m.Nanos(m.RSTrav(8, r))
+	cold := ma.Nanos(ma.RSTrav(8, r))
+	if cold <= base {
+		t.Fatalf("L1-resident repeated traversal not penalized by low affinity: base=%g cold=%g", base, cold)
+	}
+
+	// A region between the shrunken and full LLC capacity must cost
+	// the same: the LLC is shared by all cores, affinity cannot shrink
+	// it.
+	rl := Region{N: llc.Size * 9 / 10 / 4, Width: 4}
+	if got, want := ma.MemNanos(ma.RSTrav(8, rl)), m.MemNanos(m.RSTrav(8, rl)); got != want {
+		t.Fatalf("LLC traffic changed under affinity: %g vs %g", got, want)
+	}
+}
+
+// Boundary behaviour: hit=1 and out-of-range values leave the model
+// unchanged; the private share interpolates monotonically.
+func TestForAffinityBounds(t *testing.T) {
+	m := Model{H: mem.Pentium4()}
+	if got := m.ForAffinity(1).privateShare(); got != 1 {
+		t.Fatalf("privateShare at hit=1: %g", got)
+	}
+	for _, bad := range []float64{0, -1, 1.5} {
+		if got := m.ForAffinity(bad); got.AffinityHit != m.AffinityHit {
+			t.Fatalf("ForAffinity(%g) changed the model", bad)
+		}
+	}
+	prev := 0.0
+	for _, hit := range []float64{0.1, 0.4, 0.7, 1} {
+		s := m.ForAffinity(hit).privateShare()
+		if s <= prev || s > 1 {
+			t.Fatalf("privateShare(%g) = %g not monotone in (0,1]", hit, s)
+		}
+		prev = s
+	}
+	if got := m.ForAffinity(0.5).privateShare(); got != 0.75 {
+		t.Fatalf("privateShare(0.5) = %g, want 0.75", got)
+	}
+}
+
+// ForAffinity composes with ForQueries: both scale capacities, only
+// ForQueries touches the stream budget.
+func TestForAffinityComposesWithQueries(t *testing.T) {
+	m := Model{H: mem.Pentium4(), Streams: 8}.ForQueries(2).ForAffinity(0.5)
+	if m.Queries != 2 || m.AffinityHit != 0.5 {
+		t.Fatalf("composition lost fields: %+v", m)
+	}
+	if got := m.MemStreams(); got != 4 {
+		t.Fatalf("MemStreams = %d, want 4", got)
+	}
+}

@@ -117,6 +117,13 @@ type Model struct {
 	// MemStreams); 0 selects the calibrated estimate for H, with the
 	// classic constant 4 as fallback.
 	Streams int
+	// AffinityHit is the scheduler's observed local-hit rate in (0,1]:
+	// the fraction of morsels that executed on the worker whose
+	// private caches their partition was placed into. Set it with
+	// ForAffinity; 0 means unknown and models as 1 (perfect affinity —
+	// the paper's single-threaded formulas, where the one worker
+	// trivially owns every partition).
+	AffinityHit float64
 }
 
 func (m Model) share() float64 {
@@ -145,6 +152,37 @@ func (m Model) ForQueries(q int) Model {
 	m.Share = m.share() / float64(q)
 	m.Queries = q
 	return m
+}
+
+// ForAffinity returns the model adjusted for the runtime scheduler's
+// observed affinity hit rate: the PRIVATE cache levels (everything
+// below the LLC, plus the TLB) only carry state from one morsel to
+// the next when successive morsels of a partition land on the same
+// core. A morsel that runs where its partition is cached (fraction
+// hit) sees the full private capacity; one landing on a cold core
+// starts over, which the capacity model approximates as half the
+// private share useful on average over its run. The effective private
+// share is therefore (1 + hit) / 2 — 1.0 under perfect affinity, 0.5
+// under a fully shuffled schedule. The LLC is shared by all cores, so
+// its share is untouched: steals within the socket still hit it. hit
+// outside (0,1] returns the model unchanged. Callers should pass a
+// CACHE-warmth rate, counting steals that stay on the home's physical
+// core (SMT siblings) as hits — exec.SchedStats.WarmHitRate — since
+// those find the private caches warm regardless of the worker id.
+func (m Model) ForAffinity(hit float64) Model {
+	if hit <= 0 || hit > 1 {
+		return m
+	}
+	m.AffinityHit = hit
+	return m
+}
+
+// privateShare is the affinity factor applied to non-LLC capacities.
+func (m Model) privateShare() float64 {
+	if m.AffinityHit <= 0 || m.AffinityHit > 1 {
+		return 1
+	}
+	return (1 + m.AffinityHit) / 2
 }
 
 // MemStreams returns the number of concurrent memory-access streams
@@ -259,9 +297,26 @@ func (m Model) ParallelNanos(perWorker, total Cost, workers int) float64 {
 }
 
 func (m Model) eachLevel(f func(l mem.Level, cap float64) LevelCost) Cost {
+	// The LLC is identified positionally — the last non-TLB level —
+	// not by name: Validate never constrains names, so empty or
+	// duplicate names must not disable or misapply affinity scaling.
+	llcIdx := -1
+	if m.privateShare() < 1 {
+		for i, l := range m.H.Levels {
+			if !l.IsTLB {
+				llcIdx = i
+			}
+		}
+	}
 	out := Cost{Levels: make([]LevelCost, len(m.H.Levels))}
 	for i, l := range m.H.Levels {
-		lc := f(l, float64(l.Size)*m.share())
+		capacity := float64(l.Size) * m.share()
+		if llcIdx >= 0 && i != llcIdx {
+			// Private levels (and the per-core TLB) only stay warm
+			// across morsels under affine scheduling; see ForAffinity.
+			capacity *= m.privateShare()
+		}
+		lc := f(l, capacity)
 		lc.Name = l.Name
 		out.Levels[i] = lc
 	}

@@ -241,6 +241,19 @@ func (p *Pool) prefixSumChunksParallel(counts []int, h, nch int) []int {
 	return offsets
 }
 
+// level1Shift returns how many low radix bits scatter2 refines in a
+// second level for a B-bit fan-out: final partition pt descends from
+// level-1 partition pt >> level1Shift(B). Partition-morsel jobs over
+// the final fan-out use it as their affinity key, so a partition is
+// probed on the worker that just refined (and therefore still caches)
+// its level-1 parent.
+func level1Shift(bits int) uint {
+	if bits > maxFirstPassBits {
+		return uint(bits - maxFirstPassBits)
+	}
+	return 0
+}
+
 // serialPreferred reports whether the serial engine should handle this
 // clustering: tiny inputs, degenerate fan-outs, single-worker pools,
 // and bit widths beyond the two-level scheme.

@@ -95,9 +95,10 @@ type Pool struct {
 	jobs    chan job // owned mode; nil when runtime-backed
 	closed  atomic.Bool
 
-	rt *Runtime // runtime-backed mode; nil when owned
-	mu sync.Mutex
-	ls *lease // admitted lease; acquired lazily on first Run
+	rt      *Runtime // runtime-backed mode; nil when owned
+	affSeed uint64   // placement-hash salt (runtime-backed mode)
+	mu      sync.Mutex
+	ls      *lease // admitted lease; acquired lazily on first Run
 
 	sharedHits atomic.Int64 // scans served by another pipeline's pass
 }
@@ -187,6 +188,31 @@ func (p *Pool) queueWait() time.Duration {
 // attached to a pass another pipeline had already started.
 func (p *Pool) sharedScanHits() int64 { return p.sharedHits.Load() }
 
+// SetAffinitySeed replaces the pool's placement-hash salt (runtime-
+// backed mode; no-op otherwise). Strategies seed it from the query's
+// base-data identity so concurrent queries over the same source home
+// the same partitions on the same workers. Call before the first Run.
+func (p *Pool) SetAffinitySeed(seed uint64) {
+	if p.rt != nil {
+		p.affSeed = seed
+	}
+}
+
+// schedStats returns the pool's scheduler counters (zero for owned
+// pools, whose workers have no placement to hit or miss).
+func (p *Pool) schedStats() SchedStats {
+	if p.rt == nil {
+		return SchedStats{}
+	}
+	p.mu.Lock()
+	ls := p.ls
+	p.mu.Unlock()
+	if ls == nil {
+		return SchedStats{}
+	}
+	return ls.sched.stats()
+}
+
 func (p *Pool) worker(id int) {
 	s := &Scratch{}
 	for j := range p.jobs {
@@ -202,20 +228,32 @@ func (p *Pool) worker(id int) {
 }
 
 // Run executes fn(worker, task, scratch) for every task in
-// [0, ntasks), distributing tasks dynamically: each worker repeatedly
-// claims the next unclaimed task (morsel) until none remain. Run
-// returns when all tasks have finished. fn must not call Run on the
-// same pool (owned workers would deadlock waiting for themselves, and
-// a runtime job must not submit nested jobs from a morsel body). In
-// runtime-backed mode the worker index passed to fn is a shared
-// runtime worker id — operators must treat it as a scratch key only,
-// never as an index bounded by Workers().
+// [0, ntasks), distributing tasks dynamically. Run returns when all
+// tasks have finished. fn must not call Run on the same pool (owned
+// workers would deadlock waiting for themselves, and a runtime job
+// must not submit nested jobs from a morsel body). In runtime-backed
+// mode the worker index passed to fn is a shared runtime worker id —
+// operators must treat it as a scratch key only, never as an index
+// bounded by Workers(). Placement uses the task index as its own
+// affinity key: jobs decomposing the same domain into the same task
+// count land task t on the same worker every phase (see RunAff).
 func (p *Pool) Run(ntasks int, fn func(worker, task int, s *Scratch)) {
+	p.RunAff(ntasks, nil, fn)
+}
+
+// RunAff is Run with an explicit affinity mapping: aff(task) is the
+// morsel's data-identity key (a radix partition id, a chunk index of
+// the underlying item space), and tasks with equal keys are homed on
+// the same runtime worker — across jobs, phases, and (under equal
+// seeds) queries. A nil aff uses the task index. Owned pools ignore
+// the mapping: their workers claim from one atomic counter, the
+// degenerate single-query mode with nothing to place.
+func (p *Pool) RunAff(ntasks int, aff func(task int) uint64, fn func(worker, task int, s *Scratch)) {
 	if ntasks <= 0 {
 		return
 	}
 	if p.rt != nil {
-		p.lease().run(ntasks, fn)
+		p.lease().run(ntasks, p.affSeed, aff, fn)
 		return
 	}
 	var wg sync.WaitGroup

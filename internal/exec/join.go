@@ -39,9 +39,14 @@ func (p *Pool) Partitioned(largerOIDs []OID, largerKeys []int32, smallerOIDs []O
 	h := len(cl.Offsets) - 1
 	shift := uint(o.Ignore + o.Bits)
 
-	// Each partition pair is one morsel producing a private match list.
+	// Each partition pair is one morsel producing a private match
+	// list, homed (affinity key) on the worker that owns its level-1
+	// radix parent — the partition's bytes are still in that worker's
+	// private caches from the clustering refinement.
+	l1 := level1Shift(o.Bits)
+	aff := func(pt int) uint64 { return uint64(pt) >> l1 }
 	parts := make([]join.Index, h)
-	p.Run(h, func(_, pt int, _ *Scratch) {
+	p.RunAff(h, aff, func(_, pt int, _ *Scratch) {
 		ll, lh := cl.Offsets[pt], cl.Offsets[pt+1]
 		sl, sh := cs.Offsets[pt], cs.Offsets[pt+1]
 		if ll == lh || sl == sh {
@@ -61,7 +66,7 @@ func (p *Pool) Partitioned(largerOIDs []OID, largerKeys []int32, smallerOIDs []O
 		Larger:  make([]OID, offs[h]),
 		Smaller: make([]OID, offs[h]),
 	}
-	p.Run(h, func(_, pt int, _ *Scratch) {
+	p.RunAff(h, aff, func(_, pt int, _ *Scratch) {
 		copy(out.Larger[offs[pt]:offs[pt+1]], parts[pt].Larger)
 		copy(out.Smaller[offs[pt]:offs[pt+1]], parts[pt].Smaller)
 	})

@@ -103,6 +103,11 @@ type Timings struct {
 	// (cooperative scans; zero on serial engines, owned pools, and
 	// runtimes without ShareScans).
 	SharedScanHits int64
+	// Sched is the affinity scheduler's counter set for this
+	// pipeline's morsels: local hits (executed on the home worker
+	// whose caches the placement predicted warm) and steals by
+	// topology distance. Zero on serial engines and owned pools.
+	Sched SchedStats
 }
 
 // Queue returns the total queueing time: admission wait plus the
@@ -143,6 +148,18 @@ func NewRuntimePipeline(rt *Runtime, workers int) *Pipeline {
 // Engine exposes the pipeline's engine (for assembly-time decisions).
 func (p *Pipeline) Engine() *Engine { return p.eng }
 
+// SetAffinitySeed salts the runtime placement hash with the query's
+// base-data identity (e.g. a ScanKey seed), so concurrent pipelines
+// over the same source home equal partition keys on equal workers —
+// cross-query cache affinity on top of the cross-phase affinity every
+// pipeline gets. No-op for serial engines and owned pools. Call
+// before Execute.
+func (p *Pipeline) SetAffinitySeed(seed uint64) {
+	if p.eng.pool != nil {
+		p.eng.pool.SetAffinitySeed(seed)
+	}
+}
+
 // Workers returns the engine's pool size, 0 for serial.
 func (p *Pipeline) Workers() int { return p.eng.Workers() }
 
@@ -173,11 +190,13 @@ func (p *Pipeline) Execute() (Timings, error) {
 		if err != nil {
 			tm.Total = time.Since(start)
 			tm.SharedScanHits = p.eng.sharedScanHits()
+			tm.Sched = p.eng.schedStats()
 			return tm, err
 		}
 	}
 	tm.Total = time.Since(start)
 	tm.SharedScanHits = p.eng.sharedScanHits()
+	tm.Sched = p.eng.schedStats()
 	return tm, nil
 }
 
@@ -230,6 +249,15 @@ func (e *Engine) sharedScanHits() int64 {
 		return 0
 	}
 	return e.pool.sharedScanHits()
+}
+
+// schedStats returns the pool's scheduler counters (zero for the
+// serial engine).
+func (e *Engine) schedStats() SchedStats {
+	if e.pool == nil {
+		return SchedStats{}
+	}
+	return e.pool.schedStats()
 }
 
 // parallel reports whether an n-item operator should run on the pool.

@@ -35,7 +35,11 @@ func (p *Pool) FetchMany(cols [][]int32, oids []OID) ([][]int32, error) {
 	chunks := p.chunksFor(len(oids))
 	ntasks := len(cols) * len(chunks)
 	errs := make([]error, ntasks)
-	p.Run(ntasks, func(_, t int, _ *Scratch) {
+	// The affinity key is the oid-range chunk, not the (column, chunk)
+	// task: every column's fetch of the same oid range homes on one
+	// worker, which then holds that range of the join-index hot across
+	// all π columns.
+	p.RunAff(ntasks, func(t int) uint64 { return uint64(t % len(chunks)) }, func(_, t int, _ *Scratch) {
 		c, r := t/len(chunks), chunks[t%len(chunks)]
 		if err := posjoin.FetchInto(out[c][r.Lo:r.Hi], cols[c], oids[r.Lo:r.Hi]); err != nil {
 			errs[t] = fmt.Errorf("column %d: %w", c, err)

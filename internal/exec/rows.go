@@ -121,8 +121,11 @@ func (p *Pool) PartitionedRows(larger []int32, lw, lkey int, smaller []int32, sw
 	}
 	h := len(cl.Offsets) - 1
 	shift := uint(o.Ignore + o.Bits)
+	// Partition morsels home on their level-1 radix parent's worker,
+	// exactly like the oid-pair join (see Pool.Partitioned).
+	l1 := level1Shift(o.Bits)
 	parts := make([][]int32, h)
-	p.Run(h, func(_, pt int, _ *Scratch) {
+	p.RunAff(h, func(pt int) uint64 { return uint64(pt) >> l1 }, func(_, pt int, _ *Scratch) {
 		ll, lh := cl.Offsets[pt]*lw, cl.Offsets[pt+1]*lw
 		sl, sh := cs.Offsets[pt]*sw, cs.Offsets[pt+1]*sw
 		if ll == lh || sl == sh {

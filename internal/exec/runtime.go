@@ -6,69 +6,348 @@ package exec
 // up (which oversubscribe cores and fight for the memory-bandwidth
 // budget the cost model assumes each query owns exclusively).
 //
-// Scheduling model:
+// Scheduling model (topology-aware since the per-worker-deque
+// refactor):
 //
 //   - Each executing pipeline holds a lease, granted by admission
 //     control: at most maxConcurrent pipelines run at once, the rest
 //     wait in FIFO order. The admitted count is exposed as
 //     ActiveQueries, the cost model's concurrency input (each query
 //     plans against a 1/Q cache share and a 1/Q bus-stream budget).
-//   - A lease's Run submits one job — a morsel counter plus the task
-//     body, exactly a Pool job — to the shared runnable queue. Workers
-//     pick jobs round-robin across leases and claim ONE morsel per
-//     scheduling decision, so concurrent queries interleave at morsel
-//     granularity instead of queueing whole operators behind each
-//     other (query-tagged fair scheduling).
+//   - A lease's run submits one job — the task body plus an affinity
+//     key per morsel. Every morsel is placed on the local deque of its
+//     HOME worker: hash(pipeline seed, affinity key) mod workers. The
+//     key is the morsel's data identity — a radix partition id, a
+//     scan-chunk index, or the task index as fallback — so successive
+//     phases of one pipeline land the same partition on the same
+//     worker, whose private caches still hold it; and pipelines
+//     seeded from the same base data co-locate the same partition
+//     across queries.
+//   - A worker drains its own deque first (every claim there is a
+//     LOCAL HIT), round-robin across the jobs present so concurrent
+//     queries still interleave at morsel granularity, LIFO within a
+//     job (the most recently placed morsel is the one whose input the
+//     worker touched last). An idle worker STEALS: victims are visited
+//     in topology order — SMT sibling, then same-LLC core, then same
+//     node, then remote — and a thief takes the victim's OLDEST job's
+//     oldest morsel (FIFO), the one coldest in the victim's caches.
+//     Steals keep skew from idling the machine; the counters
+//     (SchedStats) report local hits and steals by distance.
 //   - Each job records the time from submission to its first claimed
 //     morsel; pipelines surface the accumulated wait as per-phase
 //     queueing time in Timings, separating "waiting for the shared
-//     engine" from "executing".
+//     engine" from "executing" — exactly as under the old central
+//     queue.
+//
+// The deques are guarded by one runtime mutex, not per-worker locks:
+// morsels are thousands of tuples each, so claim frequency is low and
+// the lock is never the bottleneck — what the refactor buys is
+// PLACEMENT (which worker's private caches service a partition), not
+// lock granularity. With Options.PinWorkers each worker locks its
+// goroutine to an OS thread and pins it to its topology slot
+// (best-effort sched_setaffinity; refusals leave the worker unpinned),
+// making homes physical cores. Per-worker Scratch is allocated inside
+// the worker goroutine after pinning, and scatter outputs are
+// first-written by the workers that own their cursor ranges — so with
+// affine placement, pages fault in on the NUMA node of the worker
+// that re-reads them (first-touch).
 //
 // The byte-identical-output contract is untouched: a job's task
 // decomposition (chunking, per-worker windows) is fixed by the
-// lease-holding Pool's nominal worker count, never by which or how
-// many runtime workers happen to serve it.
+// lease-holding Pool's nominal worker count, and placement/stealing
+// only select which worker executes a morsel, never what it computes.
 
 import (
+	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"radixdecluster/internal/calibrator"
 )
 
-// Runtime owns the single process-wide worker pool and the fair,
-// query-tagged morsel queue. Create one with NewRuntime, hand it to
-// pipelines with NewRuntimePipeline (or NewPool for direct operator
-// use), release the workers with Close.
+// StealPolicy selects how idle workers take work from other workers'
+// deques.
+type StealPolicy int
+
+const (
+	// StealTopo (the default) visits victims nearest-first in cache
+	// topology: SMT sibling, same LLC, same NUMA node, remote.
+	StealTopo StealPolicy = iota
+	// StealAny visits victims in plain ring order, ignoring topology —
+	// the classic randomized-ish work stealing baseline.
+	StealAny
+	// StealOff disables stealing: a morsel only ever runs on its home
+	// worker. Skewed placements idle workers; use for measurement.
+	StealOff
+)
+
+func (s StealPolicy) String() string {
+	switch s {
+	case StealTopo:
+		return "topo"
+	case StealAny:
+		return "any"
+	case StealOff:
+		return "off"
+	}
+	return fmt.Sprintf("StealPolicy(%d)", int(s))
+}
+
+// ParseStealPolicy maps a policy's String() name back to the constant.
+func ParseStealPolicy(s string) (StealPolicy, error) {
+	for _, p := range []StealPolicy{StealTopo, StealAny, StealOff} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("exec: unknown steal policy %q (want topo, any or off)", s)
+}
+
+// SchedStats is the affinity scheduler's counter set: how many morsels
+// ran on their home worker (private caches warm from earlier phases of
+// the same partition) versus how many were stolen, by topology
+// distance of the thief from the home.
+type SchedStats struct {
+	// LocalHits counts morsels claimed by their home worker from its
+	// own deque.
+	LocalHits int64
+	// StealsSibling counts morsels stolen by an SMT sibling of the
+	// home (same physical core — private caches are largely shared, so
+	// these steals are nearly free).
+	StealsSibling int64
+	// StealsShared counts steals within the home's LLC or NUMA node
+	// (the partition re-streams from the shared cache or local DRAM).
+	StealsShared int64
+	// StealsRemote counts steals across NUMA nodes (the partition
+	// re-streams over the interconnect — the expensive case the
+	// topology order delays as long as possible).
+	StealsRemote int64
+}
+
+// Steals returns the total stolen morsels across all distances.
+func (s SchedStats) Steals() int64 {
+	return s.StealsSibling + s.StealsShared + s.StealsRemote
+}
+
+// AffinityMisses returns the morsels that executed off their home
+// worker. Under pure work stealing every miss is a steal, so this
+// equals Steals(); it is named for what it measures (the placement's
+// cache prediction failing), where Steals is named for the mechanism.
+func (s SchedStats) AffinityMisses() int64 { return s.Steals() }
+
+// Tasks returns the total morsels scheduled.
+func (s SchedStats) Tasks() int64 { return s.LocalHits + s.Steals() }
+
+// LocalHitRate returns LocalHits / Tasks, 0 when nothing ran yet.
+func (s SchedStats) LocalHitRate() float64 {
+	if t := s.Tasks(); t > 0 {
+		return float64(s.LocalHits) / float64(t)
+	}
+	return 0
+}
+
+// WarmHitRate returns the fraction of morsels that ran where their
+// partition's private caches were warm: local hits PLUS sibling
+// steals, which stay on the home's physical core (SMT siblings share
+// L1/L2 — and whenever more workers than CPUs fold onto one core,
+// every "steal" between them is this class). This is the cost model's
+// affinity feedback signal (costmodel.Model.ForAffinity): charging
+// sibling steals as cold would shrink the modeled private caches for
+// misses that never happen.
+func (s SchedStats) WarmHitRate() float64 {
+	if t := s.Tasks(); t > 0 {
+		return float64(s.LocalHits+s.StealsSibling) / float64(t)
+	}
+	return 0
+}
+
+// Add returns the per-field sum of two counter sets.
+func (s SchedStats) Add(o SchedStats) SchedStats {
+	return SchedStats{
+		LocalHits:     s.LocalHits + o.LocalHits,
+		StealsSibling: s.StealsSibling + o.StealsSibling,
+		StealsShared:  s.StealsShared + o.StealsShared,
+		StealsRemote:  s.StealsRemote + o.StealsRemote,
+	}
+}
+
+func (s SchedStats) String() string {
+	return fmt.Sprintf("local=%d steals=%d(sib=%d shared=%d remote=%d) hitrate=%.2f",
+		s.LocalHits, s.Steals(), s.StealsSibling, s.StealsShared, s.StealsRemote, s.LocalHitRate())
+}
+
+// schedCounters is the atomic accumulator behind SchedStats (one per
+// runtime, one per lease).
+type schedCounters struct {
+	local, sibling, shared, remote atomic.Int64
+}
+
+// note records one claim: dist < 0 is a local hit, otherwise a
+// calibrator.Dist* class of the thief relative to the home worker.
+func (c *schedCounters) note(dist int) {
+	switch {
+	case dist < 0:
+		c.local.Add(1)
+	case dist <= calibrator.DistSibling:
+		// DistSelf appears when more workers than CPUs fold onto one
+		// core (every 1-core box): the "steal" stays on the same
+		// physical core, the cheapest class.
+		c.sibling.Add(1)
+	case dist <= calibrator.DistNode:
+		c.shared.Add(1)
+	default:
+		c.remote.Add(1)
+	}
+}
+
+func (c *schedCounters) stats() SchedStats {
+	return SchedStats{
+		LocalHits:     c.local.Load(),
+		StealsSibling: c.sibling.Load(),
+		StealsShared:  c.shared.Load(),
+		StealsRemote:  c.remote.Load(),
+	}
+}
+
+// Runtime owns the single process-wide worker pool and the per-worker
+// affinity deques. Create one with NewRuntime, hand it to pipelines
+// with NewRuntimePipeline (or NewPool for direct operator use),
+// release the workers with Close.
 type Runtime struct {
 	workers       int
 	maxConcurrent int
 	shareScans    bool
+	steal         StealPolicy
+	pin           bool
 
-	mu       sync.Mutex
-	work     *sync.Cond // signals workers: runnable jobs or shutdown
-	runnable []*rtJob   // jobs with unclaimed morsels, one per lease
-	rr       int        // round-robin cursor over runnable
-	closed   bool
+	topo    *calibrator.Topology
+	cpuOf   []int          // worker -> logical CPU id (pin target)
+	victims [][]stealEntry // per worker: other workers, steal order
+
+	mu     sync.Mutex
+	work   *sync.Cond // signals workers: placed morsels or shutdown
+	dq     []wdeque   // per-worker local deques (guarded by mu)
+	closed bool
 
 	admitted int             // leases currently held
 	waiters  []chan struct{} // FIFO admission queue
+
+	poolSeq atomic.Uint64 // default affinity-seed source
+	sched   schedCounters // process-wide scheduler counters
+	pinned  atomic.Int64  // workers whose pin succeeded
 
 	scanReg scanRegistry // cooperative-scan registry (scanshare.go)
 
 	wg sync.WaitGroup
 }
 
-// rtJob is one Run invocation on a lease: a morsel counter shared by
-// all workers plus the task body (the Runtime counterpart of job).
+// stealEntry is one victim in a worker's steal order.
+type stealEntry struct {
+	worker int
+	dist   int // calibrator.Dist* of the victim from the thief
+}
+
+// rtJob is one run invocation on a lease: the task body plus the
+// affinity mapping that placed its morsels (the Runtime counterpart of
+// job).
 type rtJob struct {
-	next    atomic.Int64 // morsel claim counter
-	ntasks  int64
+	ntasks  int
 	fn      func(worker, task int, s *Scratch)
+	aff     func(task int) uint64 // nil: the task index is its own key
+	seed    uint64
 	pending atomic.Int64  // tasks not yet finished
 	done    chan struct{} // closed by the worker finishing the last task
 	enq     time.Time
+	started bool // first morsel claimed (guarded by Runtime.mu)
 	ls      *lease
+}
+
+// home places one task: hash(seed, key) mod workers. Equal keys under
+// equal seeds land on equal workers — across jobs, phases and queries.
+func (j *rtJob) home(t, workers int) int {
+	key := uint64(t)
+	if j.aff != nil {
+		key = j.aff(t)
+	}
+	return int(mix64(j.seed+key*0x9E3779B97F4A7C15) % uint64(workers))
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed hash
+// for placement decisions.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// jobRun is the slice of one job's morsels homed on one worker: the
+// owner pops the back (LIFO — warmest), thieves take the front (FIFO —
+// coldest).
+type jobRun struct {
+	j     *rtJob
+	tasks []int
+}
+
+// wdeque is one worker's local run queue: per-job task runs in arrival
+// order, with a round-robin cursor so the owner interleaves concurrent
+// queries at morsel granularity (the fairness the central queue had).
+type wdeque struct {
+	runs []*jobRun
+	rr   int
+}
+
+// push appends task t of job j (called under Runtime.mu).
+func (d *wdeque) push(j *rtJob, t int) {
+	for _, r := range d.runs {
+		if r.j == j {
+			r.tasks = append(r.tasks, t)
+			return
+		}
+	}
+	d.runs = append(d.runs, &jobRun{j: j, tasks: []int{t}})
+}
+
+// popLocal claims the owner's next morsel: jobs round-robin, LIFO
+// within the chosen job.
+func (d *wdeque) popLocal() (*rtJob, int, bool) {
+	for len(d.runs) > 0 {
+		if d.rr >= len(d.runs) {
+			d.rr = 0
+		}
+		r := d.runs[d.rr]
+		t := r.tasks[len(r.tasks)-1]
+		r.tasks = r.tasks[:len(r.tasks)-1]
+		if len(r.tasks) == 0 {
+			d.runs = append(d.runs[:d.rr], d.runs[d.rr+1:]...)
+		} else {
+			d.rr++
+		}
+		return r.j, t, true
+	}
+	return nil, 0, false
+}
+
+// steal claims the oldest job's oldest morsel (FIFO on both axes).
+func (d *wdeque) steal() (*rtJob, int, bool) {
+	if len(d.runs) == 0 {
+		return nil, 0, false
+	}
+	r := d.runs[0]
+	t := r.tasks[0]
+	r.tasks = r.tasks[1:]
+	if len(r.tasks) == 0 {
+		d.runs = d.runs[1:]
+		if d.rr > 0 {
+			d.rr--
+		}
+	}
+	return r.j, t, true
 }
 
 // Options configures NewRuntimeOpts.
@@ -87,11 +366,21 @@ type Options struct {
 	// one circular pass (scanshare.go) instead of interleaving
 	// duplicate reads.
 	ShareScans bool
+	// Steal selects the work-stealing policy (default StealTopo).
+	Steal StealPolicy
+	// PinWorkers pins each worker's OS thread to its topology slot
+	// (Linux sched_setaffinity, best-effort: refused pins leave the
+	// worker unpinned and everything else working).
+	PinWorkers bool
+	// Topology overrides the machine layout (nil: DetectTopology —
+	// sysfs on Linux, flat fallback elsewhere). Tests inject synthetic
+	// topologies here.
+	Topology *calibrator.Topology
 }
 
 // NewRuntime creates a runtime with the given worker count and
 // admission bound (see Options for the defaults), with scan sharing
-// off.
+// off and default scheduling.
 func NewRuntime(workers, maxConcurrent int) *Runtime {
 	return NewRuntimeOpts(Options{Workers: workers, MaxConcurrent: maxConcurrent})
 }
@@ -109,13 +398,65 @@ func NewRuntimeOpts(o Options) *Runtime {
 			maxConcurrent = 2
 		}
 	}
-	rt := &Runtime{workers: workers, maxConcurrent: maxConcurrent, shareScans: o.ShareScans}
-	rt.work = sync.NewCond(&rt.mu)
-	rt.wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go rt.worker(w)
+	topo := o.Topology
+	if topo == nil {
+		topo = calibrator.DetectTopology()
 	}
+	if len(topo.CPUs) == 0 {
+		// Tolerate a degenerate injected topology the way Distance
+		// does, instead of dividing by zero in the worker→CPU fold.
+		topo = calibrator.FlatTopology(1)
+	}
+	rt := &Runtime{
+		workers: workers, maxConcurrent: maxConcurrent,
+		shareScans: o.ShareScans, steal: o.Steal, pin: o.PinWorkers,
+		topo: topo,
+	}
+	rt.work = sync.NewCond(&rt.mu)
+	rt.dq = make([]wdeque, workers)
+	rt.cpuOf = make([]int, workers)
+	for w := range rt.cpuOf {
+		rt.cpuOf[w] = topo.CPUs[w%len(topo.CPUs)].ID
+	}
+	rt.victims = buildVictims(topo, workers, o.Steal)
+	rt.wg.Add(workers)
+	// Wait for every worker's pin attempt so PinnedWorkers is accurate
+	// the moment the constructor returns (pinning happens on the
+	// worker's own OS thread, so it cannot run here).
+	var ready sync.WaitGroup
+	ready.Add(workers)
+	for w := 0; w < workers; w++ {
+		go rt.worker(w, &ready)
+	}
+	ready.Wait()
 	return rt
+}
+
+// buildVictims precomputes each worker's steal order: every other
+// worker, sorted nearest-first by topology distance under StealTopo
+// (ring order within a distance class, so same-class victims spread),
+// or plain ring order under StealAny/StealOff. Distances ride along
+// either way — the counters always classify steals.
+func buildVictims(topo *calibrator.Topology, workers int, policy StealPolicy) [][]stealEntry {
+	out := make([][]stealEntry, workers)
+	for w := range out {
+		vs := make([]stealEntry, 0, workers-1)
+		for v := 0; v < workers; v++ {
+			if v == w {
+				continue
+			}
+			vs = append(vs, stealEntry{worker: v, dist: topo.Distance(w, v)})
+		}
+		ring := func(v int) int { return (v - w + workers) % workers }
+		sort.SliceStable(vs, func(i, j int) bool {
+			if policy == StealTopo && vs[i].dist != vs[j].dist {
+				return vs[i].dist < vs[j].dist
+			}
+			return ring(vs[i].worker) < ring(vs[j].worker)
+		})
+		out[w] = vs
+	}
+	return out
 }
 
 // Workers returns the size of the shared pool.
@@ -124,6 +465,21 @@ func (rt *Runtime) Workers() int { return rt.workers }
 // MaxConcurrent returns the admission bound: the maximum number of
 // pipelines executing at once.
 func (rt *Runtime) MaxConcurrent() int { return rt.maxConcurrent }
+
+// Steal returns the runtime's work-stealing policy.
+func (rt *Runtime) Steal() StealPolicy { return rt.steal }
+
+// Topology returns the machine layout the scheduler places against.
+func (rt *Runtime) Topology() *calibrator.Topology { return rt.topo }
+
+// SchedStats returns the process-wide scheduler counters accumulated
+// across every job this runtime has executed.
+func (rt *Runtime) SchedStats() SchedStats { return rt.sched.stats() }
+
+// PinnedWorkers returns how many workers successfully pinned their OS
+// thread (0 unless Options.PinWorkers; possibly < Workers when the
+// kernel refuses some pins).
+func (rt *Runtime) PinnedWorkers() int { return int(rt.pinned.Load()) }
 
 // ActiveQueries returns the number of currently admitted pipelines —
 // the active-query count the cost model divides the cache share and
@@ -152,100 +508,126 @@ func (rt *Runtime) Close() {
 }
 
 // NewPool returns a Pool handle whose Run submits to this runtime's
-// shared queue instead of owning workers — the degenerate per-query
+// affinity deques instead of owning workers — the degenerate per-query
 // Pool demoted to a lease. workers (<= 0 selects the runtime's size)
 // sets the query's nominal parallelism: morsel granularity and
 // per-worker window division derive from it, so the output bytes
 // depend on it exactly as they would on an owned pool's size — never
-// on the shared workers actually serving the morsels. Admission is
-// acquired on first use (or explicitly via a pipeline's Execute) and
-// released by Close.
+// on the shared workers actually serving the morsels. The pool gets a
+// fresh affinity seed (replaceable with SetAffinitySeed before the
+// first Run) so distinct queries spread their homes differently.
+// Admission is acquired on first use (or explicitly via a pipeline's
+// Execute) and released by Close.
 func (rt *Runtime) NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = rt.workers
 	}
-	return &Pool{workers: workers, rt: rt}
+	return &Pool{workers: workers, rt: rt, affSeed: mix64(rt.poolSeq.Add(1))}
 }
 
-// worker is the shared-pool loop: claim one morsel per round-robin
-// scheduling decision, so every admitted query makes progress while
-// any of its morsels are pending.
-func (rt *Runtime) worker(id int) {
+// worker is the shared-pool loop: drain the local deque (jobs
+// round-robin, LIFO within a job), steal in topology order when empty,
+// sleep when the whole machine is empty.
+func (rt *Runtime) worker(w int, ready *sync.WaitGroup) {
 	defer rt.wg.Done()
+	if rt.pin {
+		// Pin before allocating Scratch: the worker's buffers then
+		// fault in on (first-touch) the pinned core's node.
+		runtime.LockOSThread()
+		if err := calibrator.PinThread(rt.cpuOf[w]); err != nil {
+			runtime.UnlockOSThread() // best-effort: run unpinned
+		} else {
+			rt.pinned.Add(1)
+		}
+	}
+	ready.Done()
 	s := &Scratch{}
 	for {
-		j := rt.nextJob()
-		if j == nil {
+		j, t, ok := rt.nextTask(w)
+		if !ok {
 			return
 		}
-		t := j.next.Add(1) - 1
-		if t >= j.ntasks {
-			continue // lost the race for the last morsel; nextJob retires it
-		}
-		if t == 0 {
-			j.ls.queued.Add(int64(time.Since(j.enq)))
-		}
-		j.fn(id, int(t), s)
+		j.fn(w, t, s)
 		if j.pending.Add(-1) == 0 {
 			close(j.done)
 		}
 	}
 }
 
-// nextJob blocks until a runnable job exists (returning it and
-// advancing the round-robin cursor) or the runtime closes (returning
-// nil). Jobs whose morsels are all claimed are retired from the
-// runnable list here.
-func (rt *Runtime) nextJob() *rtJob {
+// nextTask blocks until worker w claims a morsel — local deque first,
+// then steals in victim order — or the runtime closes. Claim
+// accounting (queue waits, scheduler counters) happens here, under the
+// runtime mutex.
+func (rt *Runtime) nextTask(w int) (*rtJob, int, bool) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	for {
-		for len(rt.runnable) > 0 {
-			if rt.rr >= len(rt.runnable) {
-				rt.rr = 0
+		if j, t, ok := rt.dq[w].popLocal(); ok {
+			rt.note(j, -1)
+			return j, t, true
+		}
+		if rt.steal != StealOff {
+			for _, v := range rt.victims[w] {
+				if j, t, ok := rt.dq[v.worker].steal(); ok {
+					rt.note(j, v.dist)
+					return j, t, true
+				}
 			}
-			j := rt.runnable[rt.rr]
-			if j.next.Load() >= j.ntasks {
-				rt.runnable = append(rt.runnable[:rt.rr], rt.runnable[rt.rr+1:]...)
-				continue
-			}
-			rt.rr++
-			return j
 		}
 		if rt.closed {
-			return nil
+			return nil, 0, false
 		}
 		rt.work.Wait()
 	}
 }
 
+// note records one claim under rt.mu: first-morsel queue wait plus the
+// runtime-wide and per-lease scheduler counters.
+func (rt *Runtime) note(j *rtJob, dist int) {
+	if !j.started {
+		j.started = true
+		j.ls.queued.Add(int64(time.Since(j.enq)))
+	}
+	rt.sched.note(dist)
+	j.ls.sched.note(dist)
+}
+
+// submit places every morsel of j on its home worker's deque and wakes
+// the workers.
 func (rt *Runtime) submit(j *rtJob) {
 	rt.mu.Lock()
 	if rt.closed {
 		rt.mu.Unlock()
 		panic("exec: Run on a closed Runtime")
 	}
-	rt.runnable = append(rt.runnable, j)
+	for t := 0; t < j.ntasks; t++ {
+		rt.dq[j.home(t, rt.workers)].push(j, t)
+	}
 	rt.mu.Unlock()
 	rt.work.Broadcast()
 }
 
 // lease is one admitted pipeline's handle on the runtime. queued
 // accumulates the submission-to-first-morsel waits of its jobs — the
-// morsel-queue component of the pipeline's queueing time.
+// morsel-queue component of the pipeline's queueing time — and sched
+// the pipeline's scheduler counters.
 type lease struct {
 	rt     *Runtime
 	queued atomic.Int64 // nanoseconds
+	sched  schedCounters
 }
 
 // run executes fn over [0, ntasks) morsels on the shared workers and
-// returns when all have finished. Like Pool.Run, fn must not submit
-// nested jobs from within a morsel body.
-func (l *lease) run(ntasks int, fn func(worker, task int, s *Scratch)) {
+// returns when all have finished. aff maps a task to its affinity key
+// (nil: the task index); seed salts the placement hash per query/scan.
+// Like Pool.Run, fn must not submit nested jobs from within a morsel
+// body.
+func (l *lease) run(ntasks int, seed uint64, aff func(task int) uint64, fn func(worker, task int, s *Scratch)) {
 	if ntasks <= 0 {
 		return
 	}
-	j := &rtJob{ntasks: int64(ntasks), fn: fn, done: make(chan struct{}), enq: time.Now(), ls: l}
+	j := &rtJob{ntasks: ntasks, fn: fn, aff: aff, seed: seed,
+		done: make(chan struct{}), enq: time.Now(), ls: l}
 	j.pending.Store(int64(ntasks))
 	l.rt.submit(j)
 	<-j.done

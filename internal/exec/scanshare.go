@@ -192,6 +192,16 @@ func (g *scanRegistry) serve(sc *sharedScan) {
 	}
 }
 
+// Seed returns the placement-hash salt of this scan source: every
+// consumer of one key submits its serve tokens under the same seed, so
+// token i of every attached pipeline homes on the same worker — the
+// wheel's chunk service stays on a stable worker set across queries,
+// and the chunk buffers it faults in are first-touched where they are
+// re-read.
+func (k ScanKey) Seed() uint64 {
+	return mix64(uint64(k.base) ^ uint64(k.n)<<8 ^ uint64(k.kind)<<56)
+}
+
 // sharedScan routes one declared scan of this pool through the
 // runtime's registry: attach as a consumer, contribute len(chunks)
 // serve tokens under the pool's lease, wait until every chunk has been
@@ -202,7 +212,7 @@ func (p *Pool) sharedScan(key ScanKey, n int, body func(Range) error) error {
 	if hit {
 		p.sharedHits.Add(1)
 	}
-	ls.run(len(sc.chunks), func(_, _ int, _ *Scratch) { p.rt.scanReg.serve(sc) })
+	ls.run(len(sc.chunks), key.Seed(), nil, func(_, _ int, _ *Scratch) { p.rt.scanReg.serve(sc) })
 	// Our tokens have run, so every serve in c's window is claimed;
 	// stragglers claimed by other pipelines' tokens finish on their
 	// workers momentarily.

@@ -1,0 +1,250 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"radixdecluster/internal/calibrator"
+)
+
+// homeOf computes the placement of key under seed on a w-worker
+// runtime — the same hash submit uses.
+func homeOf(seed, key uint64, workers int) int {
+	j := &rtJob{seed: seed, aff: func(int) uint64 { return key }}
+	return j.home(0, workers)
+}
+
+// keyHomedOn searches for an affinity key whose home is the given
+// worker (tiny: the hash spreads, so a handful of probes suffice).
+func keyHomedOn(t *testing.T, seed uint64, worker, workers int) uint64 {
+	t.Helper()
+	for key := uint64(0); key < 1024; key++ {
+		if homeOf(seed, key, workers) == worker {
+			return key
+		}
+	}
+	t.Fatal("no key homes on the worker — placement hash broken")
+	return 0
+}
+
+// TestStealRescuesStarvedWorker is the deterministic starved-worker
+// scenario: one worker is held hostage inside a long morsel, and a
+// whole job is then homed onto exactly that worker. Without stealing
+// the job could not run until the hostage released; with it, the idle
+// worker must steal every morsel. The hostage worker is DISCOVERED at
+// run time (whichever worker picks up the blocking morsel) and the
+// job's affinity key is chosen to home on it, so the test does not
+// depend on scheduling races.
+func TestStealRescuesStarvedWorker(t *testing.T) {
+	rt := NewRuntimeOpts(Options{Workers: 2, Steal: StealTopo,
+		Topology: calibrator.FlatTopology(2)})
+	defer rt.Close()
+	hostage := rt.NewPool(2)
+	defer hostage.Close()
+	victim := rt.NewPool(2)
+	defer victim.Close()
+
+	started := make(chan int)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		hostage.Run(1, func(worker, _ int, _ *Scratch) {
+			started <- worker
+			<-release
+		})
+	}()
+	busy := <-started // this worker is now stuck until release
+
+	const ntasks = 8
+	key := keyHomedOn(t, victim.affSeed, busy, 2)
+	ran := make([]int, ntasks)
+	victim.RunAff(ntasks, func(int) uint64 { return key }, func(worker, task int, _ *Scratch) {
+		ran[task] = worker
+	})
+	close(release)
+	wg.Wait()
+
+	for task, worker := range ran {
+		if worker == busy {
+			t.Fatalf("task %d ran on the hostage worker %d", task, busy)
+		}
+	}
+	st := victim.schedStats()
+	if st.LocalHits != 0 || st.Steals() != ntasks {
+		t.Fatalf("starved job stats: %v, want 0 local / %d steals", st, ntasks)
+	}
+	if got := rt.SchedStats(); got.Tasks() < ntasks+1 {
+		t.Fatalf("runtime-wide counters missed tasks: %v", got)
+	}
+}
+
+// TestStealOffKeepsMorselsHome: with stealing disabled, every morsel
+// of a constant-key job runs on its home worker — all local hits, no
+// steals — and jobs homed on different workers still all complete.
+func TestStealOffKeepsMorselsHome(t *testing.T) {
+	rt := NewRuntimeOpts(Options{Workers: 4, Steal: StealOff,
+		Topology: calibrator.FlatTopology(4)})
+	defer rt.Close()
+	p := rt.NewPool(4)
+	defer p.Close()
+
+	const ntasks = 32
+	key := keyHomedOn(t, p.affSeed, 2, 4)
+	home := homeOf(p.affSeed, key, 4)
+	ran := make([]int, ntasks)
+	p.RunAff(ntasks, func(int) uint64 { return key }, func(worker, task int, _ *Scratch) {
+		ran[task] = worker
+	})
+	for task, worker := range ran {
+		if worker != home {
+			t.Fatalf("task %d ran on worker %d, home is %d (steal off)", task, worker, home)
+		}
+	}
+	st := p.schedStats()
+	if st.LocalHits != ntasks || st.Steals() != 0 {
+		t.Fatalf("steal-off stats: %v, want %d local / 0 steals", st, ntasks)
+	}
+
+	// Identity-keyed jobs spread over all workers and still finish.
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	p.Run(64, func(worker, _ int, _ *Scratch) {
+		mu.Lock()
+		seen[worker] = true
+		mu.Unlock()
+	})
+	if len(seen) < 2 {
+		t.Fatalf("identity placement used %d workers, want several", len(seen))
+	}
+}
+
+// TestCrossPhaseAffinity pins the refactor's point: two jobs that
+// decompose the same domain into the same task count land task t on
+// the same worker both times (steal off makes the check exact — with
+// stealing the property is statistical).
+func TestCrossPhaseAffinity(t *testing.T) {
+	rt := NewRuntimeOpts(Options{Workers: 4, Steal: StealOff,
+		Topology: calibrator.FlatTopology(4)})
+	defer rt.Close()
+	p := rt.NewPool(4)
+	defer p.Close()
+
+	const ntasks = 40
+	phase1 := make([]int, ntasks)
+	phase2 := make([]int, ntasks)
+	p.Run(ntasks, func(worker, task int, _ *Scratch) { phase1[task] = worker })
+	p.Run(ntasks, func(worker, task int, _ *Scratch) { phase2[task] = worker })
+	for task := range phase1 {
+		if phase1[task] != phase2[task] {
+			t.Fatalf("task %d moved: worker %d in phase 1, %d in phase 2",
+				task, phase1[task], phase2[task])
+		}
+	}
+}
+
+// TestStealDistanceClassification: on a synthetic 2-node topology, a
+// steal's distance class matches the thief/home relationship. Workers
+// 0,1 are SMT siblings on node 0; worker 2 shares only their LLC;
+// worker 3 is on the remote node.
+func TestStealDistanceClassification(t *testing.T) {
+	topo := &calibrator.Topology{Source: "test", CPUs: []calibrator.TopoCPU{
+		{ID: 0, Core: 0, LLC: 0, Node: 0},
+		{ID: 1, Core: 0, LLC: 0, Node: 0},
+		{ID: 2, Core: 1, LLC: 0, Node: 0},
+		{ID: 3, Core: 2, LLC: 1, Node: 1},
+	}}
+	rt := NewRuntimeOpts(Options{Workers: 4, Steal: StealTopo, Topology: topo})
+	defer rt.Close()
+
+	// The victim orders must be topology-sorted: worker 0 steals from
+	// its sibling 1 first, 2 second, remote 3 last.
+	want := []int{1, 2, 3}
+	for i, v := range rt.victims[0] {
+		if v.worker != want[i] {
+			t.Fatalf("worker 0 victim order %v, want %v", rt.victims[0], want)
+		}
+	}
+	if rt.victims[0][0].dist != calibrator.DistSibling ||
+		rt.victims[0][1].dist != calibrator.DistShared ||
+		rt.victims[0][2].dist != calibrator.DistRemote {
+		t.Fatalf("worker 0 victim distances: %v", rt.victims[0])
+	}
+	// Worker 3's nearest victims are all remote (it is alone on node 1).
+	for _, v := range rt.victims[3] {
+		if v.dist != calibrator.DistRemote {
+			t.Fatalf("worker 3 victim %v should be remote", v)
+		}
+	}
+
+	// Drive one hostage scenario and check the stolen morsels were
+	// classified (any class — which thief wins depends on timing, but
+	// every steal must land in exactly one bucket).
+	hostage := rt.NewPool(4)
+	defer hostage.Close()
+	victim := rt.NewPool(4)
+	defer victim.Close()
+	started := make(chan int)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		hostage.Run(1, func(worker, _ int, _ *Scratch) {
+			started <- worker
+			<-release
+		})
+	}()
+	busy := <-started
+	key := keyHomedOn(t, victim.affSeed, busy, 4)
+	const ntasks = 16
+	victim.RunAff(ntasks, func(int) uint64 { return key }, func(_, _ int, _ *Scratch) {})
+	close(release)
+	wg.Wait()
+	st := victim.schedStats()
+	if st.Steals() != ntasks || st.LocalHits != 0 {
+		t.Fatalf("hostage job stats: %v, want all %d stolen", st, ntasks)
+	}
+	if st.AffinityMisses() != st.Steals() {
+		t.Fatalf("misses %d != steals %d", st.AffinityMisses(), st.Steals())
+	}
+}
+
+// TestEmptyTopologyNormalized: an injected empty topology must
+// normalize to the flat fallback, not divide by zero in the
+// worker→CPU fold (Distance already tolerates the empty case).
+func TestEmptyTopologyNormalized(t *testing.T) {
+	rt := NewRuntimeOpts(Options{Workers: 2, Topology: &calibrator.Topology{}})
+	defer rt.Close()
+	p := rt.NewPool(2)
+	defer p.Close()
+	var ran atomic.Int64
+	p.Run(4, func(_, _ int, _ *Scratch) { ran.Add(1) })
+	if ran.Load() != 4 {
+		t.Fatalf("ran %d of 4 tasks", ran.Load())
+	}
+}
+
+// TestSchedStatsArithmetic pins the counter algebra the CLI and CI
+// smoke rely on.
+func TestSchedStatsArithmetic(t *testing.T) {
+	s := SchedStats{LocalHits: 6, StealsSibling: 1, StealsShared: 2, StealsRemote: 1}
+	if s.Steals() != 4 || s.Tasks() != 10 || s.AffinityMisses() != 4 {
+		t.Fatalf("bad arithmetic: %+v", s)
+	}
+	if got := s.LocalHitRate(); got != 0.6 {
+		t.Fatalf("hit rate %g, want 0.6", got)
+	}
+	if got := s.WarmHitRate(); got != 0.7 {
+		t.Fatalf("warm rate %g, want 0.7 (sibling steals count warm)", got)
+	}
+	if (SchedStats{}).LocalHitRate() != 0 {
+		t.Fatal("empty stats must report rate 0")
+	}
+	sum := s.Add(SchedStats{LocalHits: 4})
+	if sum.LocalHits != 10 || sum.Steals() != 4 {
+		t.Fatalf("Add: %+v", sum)
+	}
+}

@@ -62,7 +62,7 @@ func NSMPre(larger, smaller NSMSide, partitioned bool, cfg Config) (*Result, err
 	if partitioned {
 		jo = joinOpts(cfg, smaller.Rel.Len(), sw*4)
 	}
-	pl := cfg.pipelineFor(larger.Rel.Len()+smaller.Rel.Len(), func() int {
+	pl := cfg.pipelineFor(larger.Rel.Len()+smaller.Rel.Len(), nsmAffinitySeed(larger), func() int {
 		return planParallelismRows(larger.Rel.Len(), smaller.Rel.Len(), lw, sw, jo.Bits, cfg)
 	})
 	defer pl.Close()
@@ -138,7 +138,7 @@ func NSMPostDecluster(larger, smaller NSMSide, cfg Config) (*Result, error) {
 		}
 	}
 
-	pl := cfg.pipelineFor(larger.Rel.Len()+smaller.Rel.Len(), func() int {
+	pl := cfg.pipelineFor(larger.Rel.Len()+smaller.Rel.Len(), nsmAffinitySeed(larger), func() int {
 		return planParallelismNSMPost(larger.Rel.Len(),
 			max(larger.Rel.Len(), smaller.Rel.Len()),
 			max(larger.Rel.TupleBytes(), smaller.Rel.TupleBytes()),
@@ -234,7 +234,7 @@ func NSMPostJive(larger, smaller NSMSide, jiveBits int, cfg Config) (*Result, er
 	if projBytes == 0 {
 		projBytes = 4
 	}
-	pl := cfg.pipelineFor(larger.Rel.Len()+smaller.Rel.Len(), func() int {
+	pl := cfg.pipelineFor(larger.Rel.Len()+smaller.Rel.Len(), nsmAffinitySeed(larger), func() int {
 		bits := jiveBits
 		if bits == 0 {
 			bits = radix.OptimalBits(larger.Rel.Len(), projBytes, h.LLC().Size)
@@ -310,6 +310,14 @@ func NSMPostJive(larger, smaller NSMSide, jiveBits int, cfg Config) (*Result, er
 	}
 	res.Phases = phasesFromTimings(tm)
 	return res, nil
+}
+
+// nsmAffinitySeed is the placement-hash salt of an NSM query: the
+// larger relation's record array, the same identity its shared scans
+// carry — so concurrent queries over one relation home equal
+// partitions (and scan chunks) on equal workers.
+func nsmAffinitySeed(larger NSMSide) uint64 {
+	return exec.RowsScanKey(larger.Rel.Data, larger.Rel.Len()).Seed()
 }
 
 // denseOIDs materialises the dense [0,n) oid column of a base scan.

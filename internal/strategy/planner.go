@@ -19,6 +19,7 @@ package strategy
 // Workers = 0.
 
 import (
+	"math"
 	"runtime"
 
 	"radixdecluster/internal/core"
@@ -41,10 +42,30 @@ func (c Config) queries() int {
 	return q
 }
 
-// model builds the cost model for one planning decision, with the
-// cache share and bus-stream budget divided across active queries.
+// affinityFeedbackMinTasks is how many morsels the runtime's
+// scheduler counters must cover before the planner trusts the
+// observed local-hit rate (early counters are all noise).
+const affinityFeedbackMinTasks = 256
+
+// model builds the cost model for one planning decision: the cache
+// share and bus-stream budget divided across active queries, and the
+// private-level share scaled by the runtime scheduler's OBSERVED warm
+// rate (costmodel.Model.ForAffinity) — a runtime whose morsels keep
+// landing on cores that never saw their partition plans with colder
+// private caches, steering toward fewer workers. The signal is
+// WarmHitRate, not LocalHitRate: sibling steals stay on the home's
+// physical core where the private caches really are warm.
 func (c Config) model() costmodel.Model {
-	return costmodel.Model{H: c.hier()}.ForQueries(c.queries())
+	m := costmodel.Model{H: c.hier()}.ForQueries(c.queries())
+	if c.Runtime != nil {
+		if st := c.Runtime.SchedStats(); st.Tasks() >= affinityFeedbackMinTasks {
+			// Clamp away from ForAffinity's 0-means-unknown sentinel: a
+			// measured warm rate of exactly 0 is the WORST schedule and
+			// must hit the cold floor, not read as "no data".
+			m = m.ForAffinity(math.Max(st.WarmHitRate(), 1e-3))
+		}
+	}
+	return m
 }
 
 // maxWorkers bounds the planner's worker-count search: the machine,
@@ -102,10 +123,13 @@ func planParallelismJive(nJI, leftN, rightN, omegaBytes, projBytes, bits int, cf
 // pipelineFor resolves cfg.Parallelism into a pipeline for one
 // strategy run. plan supplies the strategy's cost-model decision
 // (consulted only for AutoParallelism); joinInput is the total join
-// input cardinality gating pool creation against exec.MinParallelN.
-// Parallel pipelines run on the shared runtime when one is
-// configured, otherwise on an owned per-query pool.
-func (c Config) pipelineFor(joinInput int, plan func() int) *exec.Pipeline {
+// input cardinality gating pool creation against exec.MinParallelN;
+// affinitySeed is the query's base-data identity (a ScanKey seed),
+// salting the runtime's placement hash so concurrent queries over the
+// same source home equal partitions on equal workers. Parallel
+// pipelines run on the shared runtime when one is configured,
+// otherwise on an owned per-query pool.
+func (c Config) pipelineFor(joinInput int, affinitySeed uint64, plan func() int) *exec.Pipeline {
 	w := 0
 	switch {
 	case c.Parallelism >= 1:
@@ -119,7 +143,11 @@ func (c Config) pipelineFor(joinInput int, plan func() int) *exec.Pipeline {
 		w = 0
 	}
 	if w > 0 && c.Runtime != nil {
-		return exec.NewRuntimePipeline(c.Runtime, w)
+		pl := exec.NewRuntimePipeline(c.Runtime, w)
+		if affinitySeed != 0 {
+			pl.SetAffinitySeed(affinitySeed)
+		}
+		return pl
 	}
 	return exec.NewPipeline(w)
 }
@@ -136,6 +164,7 @@ func phasesFromTimings(t exec.Timings) Phases {
 		Decluster:      t.ByKind[exec.PhaseDecluster],
 		Queue:          t.Queue(),
 		SharedScanHits: t.SharedScanHits,
+		Sched:          t.Sched,
 		Total:          t.Total,
 	}
 }

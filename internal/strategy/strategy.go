@@ -137,16 +137,20 @@ type Phases struct {
 	// pass another concurrent query had already started (cooperative
 	// scans; zero without a scan-sharing runtime).
 	SharedScanHits int64
+	// Sched is the affinity scheduler's counter set for this run:
+	// morsels executed on their home worker (local hits) versus stolen
+	// by topology distance. Zero for serial runs and owned pools.
+	Sched exec.SchedStats
 	// Total is the end-to-end time.
 	Total time.Duration
 }
 
 func (p Phases) String() string {
-	return fmt.Sprintf("scan=%v join=%v reorder=%v projL=%v projS=%v declust=%v queue=%v sharedscans=%d total=%v",
+	return fmt.Sprintf("scan=%v join=%v reorder=%v projL=%v projS=%v declust=%v queue=%v sharedscans=%d sched[%v] total=%v",
 		p.Scan.Round(time.Microsecond), p.Join.Round(time.Microsecond),
 		p.ReorderJI.Round(time.Microsecond), p.ProjectLarger.Round(time.Microsecond),
 		p.ProjectSmaller.Round(time.Microsecond), p.Decluster.Round(time.Microsecond),
-		p.Queue.Round(time.Microsecond), p.SharedScanHits, p.Total.Round(time.Microsecond))
+		p.Queue.Round(time.Microsecond), p.SharedScanHits, p.Sched, p.Total.Round(time.Microsecond))
 }
 
 // Result is a completed project-join.
@@ -287,12 +291,15 @@ func DSMPost(larger, smaller DSMSide, lm, sm ProjMethod, cfg Config) (*Result, e
 
 	// The auto decision uses the same shape estimates as PlanJoin
 	// (radixdecluster.PlanJoin): result cardinality ≈ the larger
-	// input, π = the wider projection list.
-	pl := cfg.pipelineFor(len(larger.OIDs)+len(smaller.OIDs), func() int {
-		return PlanParallelism(max(len(larger.OIDs), len(smaller.OIDs)),
-			max(larger.BaseN, smaller.BaseN),
-			max(len(larger.Cols), len(smaller.Cols)), cfg)
-	})
+	// input, π = the wider projection list. The larger key column is
+	// the query's affinity identity: concurrent queries joining the
+	// same sides home the same partitions on the same workers.
+	pl := cfg.pipelineFor(len(larger.OIDs)+len(smaller.OIDs),
+		exec.ColumnScanKey(larger.Keys, len(larger.OIDs)).Seed(), func() int {
+			return PlanParallelism(max(len(larger.OIDs), len(smaller.OIDs)),
+				max(larger.BaseN, smaller.BaseN),
+				max(len(larger.Cols), len(smaller.Cols)), cfg)
+		})
 	defer pl.Close()
 	res := &Result{Workers: pl.Workers(), LargerMethod: lm, SmallerMethod: sm}
 
@@ -411,9 +418,10 @@ func DSMPre(larger, smaller DSMSide, cfg Config) (*Result, error) {
 	}
 	lw, sw := 1+len(larger.Cols), 1+len(smaller.Cols)
 	jo := joinOpts(cfg, len(smaller.OIDs), sw*4)
-	pl := cfg.pipelineFor(len(larger.OIDs)+len(smaller.OIDs), func() int {
-		return planParallelismRows(len(larger.OIDs), len(smaller.OIDs), lw, sw, jo.Bits, cfg)
-	})
+	pl := cfg.pipelineFor(len(larger.OIDs)+len(smaller.OIDs),
+		exec.ColumnScanKey(larger.Keys, len(larger.OIDs)).Seed(), func() int {
+			return planParallelismRows(len(larger.OIDs), len(smaller.OIDs), lw, sw, jo.Bits, cfg)
+		})
 	defer pl.Close()
 	res := &Result{LargerMethod: 'p', SmallerMethod: 'p', Workers: pl.Workers(), JoinBits: jo.Bits}
 

@@ -152,6 +152,11 @@ type Timing struct {
 	// cooperative pass another concurrent query had already started
 	// (zero unless the runtime has RuntimeConfig.ShareScans on).
 	SharedScanHits int64
+	// Sched is the runtime scheduler's counter set for this query:
+	// morsels executed on their home worker (whose private caches held
+	// their partition from earlier phases) versus steals by topology
+	// distance. Zero for serial runs and per-query pools.
+	Sched SchedStats
 }
 
 // Result is a completed project-join. Columns appear in result order:
@@ -307,6 +312,7 @@ func buildResult(q JoinQuery, res *strategy.Result) (*Result, error) {
 			ProjectLarger: res.Phases.ProjectLarger, ProjectSmaller: res.Phases.ProjectSmaller,
 			Decluster: res.Phases.Decluster, Queue: res.Phases.Queue, Total: res.Phases.Total,
 			SharedScanHits: res.Phases.SharedScanHits,
+			Sched:          schedFromExec(res.Phases.Sched),
 		},
 		Plan: fmt.Sprintf("joinbits=%d largerbits=%d smallerbits=%d window=%d methods=%c/%c workers=%d",
 			res.JoinBits, res.LargerBits, res.SmallerBits, res.Window,

@@ -33,9 +33,102 @@ type RuntimeConfig struct {
 	// either way; Timing.SharedScanHits reports how often a query's
 	// scans rode along on another query's pass.
 	ShareScans bool
+	// StealPolicy selects how idle workers take morsels homed on other
+	// workers: StealTopo (the default) visits victims nearest-first in
+	// cache topology (SMT sibling, same LLC, same NUMA node, remote),
+	// StealAny ignores topology, StealOff disables stealing entirely
+	// (morsels only ever run on their home worker). Results are
+	// byte-identical under every policy; Timing.Sched reports what the
+	// scheduler actually did.
+	StealPolicy StealPolicy
+	// PinWorkers pins each runtime worker's OS thread to its topology
+	// slot (Linux sched_setaffinity, best-effort — refused pins leave
+	// workers unpinned), so the affinity scheduler's "home worker" is
+	// a physical core with stable private caches. Off by default: the
+	// Go scheduler usually keeps busy workers on their cores anyway,
+	// and pinning a shared process can fight other pools.
+	PinWorkers bool
 	// Hier drives the adaptive admission derivation (zero value: the
 	// paper's Pentium 4, like every other planning default).
 	Hier Hierarchy
+}
+
+// StealPolicy selects the runtime's work-stealing behaviour (see
+// RuntimeConfig.StealPolicy).
+type StealPolicy int
+
+const (
+	// StealTopo steals nearest-first in cache topology (default).
+	StealTopo StealPolicy = StealPolicy(exec.StealTopo)
+	// StealAny steals in plain ring order, ignoring topology.
+	StealAny StealPolicy = StealPolicy(exec.StealAny)
+	// StealOff disables stealing.
+	StealOff StealPolicy = StealPolicy(exec.StealOff)
+)
+
+func (s StealPolicy) String() string { return exec.StealPolicy(s).String() }
+
+// ParseStealPolicy maps a policy's String() name ("topo", "any",
+// "off") back to the constant.
+func ParseStealPolicy(s string) (StealPolicy, error) {
+	p, err := exec.ParseStealPolicy(s)
+	return StealPolicy(p), err
+}
+
+// SchedStats is the runtime scheduler's counter set: how many morsels
+// ran on their home worker — the worker whose private caches their
+// partition was placed into, kept warm across phases — versus how many
+// an idle worker stole, by topology distance from the home.
+type SchedStats struct {
+	// LocalHits counts morsels executed by their home worker.
+	LocalHits int64
+	// StealsSibling counts steals by an SMT sibling of the home (same
+	// physical core, shared private caches — nearly free).
+	StealsSibling int64
+	// StealsShared counts steals within the home's last-level cache or
+	// NUMA node.
+	StealsShared int64
+	// StealsRemote counts steals across NUMA nodes.
+	StealsRemote int64
+}
+
+// Steals returns the total stolen morsels.
+func (s SchedStats) Steals() int64 { return s.StealsSibling + s.StealsShared + s.StealsRemote }
+
+// AffinityMisses returns the morsels that executed off their home
+// worker (equal to Steals: under pure work stealing, stealing is the
+// only way a morsel leaves home).
+func (s SchedStats) AffinityMisses() int64 { return s.Steals() }
+
+// Tasks returns the total morsels scheduled.
+func (s SchedStats) Tasks() int64 { return s.LocalHits + s.Steals() }
+
+// LocalHitRate returns LocalHits / Tasks, 0 when nothing ran.
+func (s SchedStats) LocalHitRate() float64 {
+	if t := s.Tasks(); t > 0 {
+		return float64(s.LocalHits) / float64(t)
+	}
+	return 0
+}
+
+// WarmHitRate returns the fraction of morsels that ran where their
+// partition's private caches were warm: local hits plus SMT-sibling
+// steals (same physical core, shared private caches) — the signal the
+// planner's affinity feedback uses.
+func (s SchedStats) WarmHitRate() float64 {
+	if t := s.Tasks(); t > 0 {
+		return float64(s.LocalHits+s.StealsSibling) / float64(t)
+	}
+	return 0
+}
+
+func schedFromExec(s exec.SchedStats) SchedStats {
+	return SchedStats{
+		LocalHits:     s.LocalHits,
+		StealsSibling: s.StealsSibling,
+		StealsShared:  s.StealsShared,
+		StealsRemote:  s.StealsRemote,
+	}
 }
 
 // Runtime is the process-wide execution engine for concurrent
@@ -71,6 +164,7 @@ func NewRuntime(cfg RuntimeConfig) *Runtime {
 	}
 	return &Runtime{rt: exec.NewRuntimeOpts(exec.Options{
 		Workers: workers, MaxConcurrent: admit, ShareScans: cfg.ShareScans,
+		Steal: exec.StealPolicy(cfg.StealPolicy), PinWorkers: cfg.PinWorkers,
 	})}
 }
 
@@ -99,6 +193,20 @@ func (r *Runtime) ShareScans() bool { return r.rt.ShareScans() }
 // query had already started, i.e. base-data sweeps that did not pay
 // their own memory traffic.
 func (r *Runtime) SharedScanHits() int64 { return r.rt.SharedScanHits() }
+
+// StealPolicy returns the runtime's work-stealing policy.
+func (r *Runtime) StealPolicy() StealPolicy { return StealPolicy(r.rt.Steal()) }
+
+// SchedStats returns the scheduler counters accumulated across every
+// query this runtime has executed: morsels served by their home
+// worker (warm private caches) versus steals by topology distance.
+func (r *Runtime) SchedStats() SchedStats { return schedFromExec(r.rt.SchedStats()) }
+
+// PinnedWorkers returns how many runtime workers successfully pinned
+// their OS thread to a core (0 unless RuntimeConfig.PinWorkers was
+// set; possibly fewer than Workers when the kernel refuses pins, e.g.
+// in a restricted container).
+func (r *Runtime) PinnedWorkers() int { return r.rt.PinnedWorkers() }
 
 // Close stops the runtime's workers. The runtime must be idle (no
 // executing or admission-waiting queries). The process default

@@ -16,10 +16,14 @@ import (
 // TestConcurrentMixedStrategiesByteIdentical is the shared-runtime
 // stress test: at least 8 ProjectJoin queries of mixed strategies run
 // concurrently on one runtime, and every one must return exactly the
-// bytes its serial (paper-mode) execution returns. Run under -race in
-// CI, this is the correctness contract of the process-wide executor:
-// fair multiplexing and admission control change scheduling only,
-// never results.
+// bytes its serial (paper-mode) execution returns. The matrix runs
+// once per scheduler configuration — topology-aware stealing (the
+// default), stealing disabled, and stealing with pinned workers — so
+// the affinity scheduler's every mode is pinned to the byte-identical
+// contract. Run under -race in CI, this is the correctness contract
+// of the process-wide executor: placement, stealing, fair
+// multiplexing and admission control change scheduling only, never
+// results.
 func TestConcurrentMixedStrategiesByteIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stress test needs full-size relations")
@@ -32,9 +36,6 @@ func TestConcurrentMixedStrategiesByteIdentical(t *testing.T) {
 		workload.Params{N: 32 << 10, Omega: pi + 1, HitRate: 1, SelLarger: 1, SelSmaller: 1, Seed: 91}, pi)
 	larger2, smaller2 := workloadRelations(t,
 		workload.Params{N: 48 << 10, Omega: pi + 1, HitRate: 1, Skew: 1.1, SelLarger: 1, SelSmaller: 1, Seed: 92}, pi)
-
-	rt := NewRuntime(RuntimeConfig{})
-	defer rt.Close()
 
 	type testQuery struct {
 		name string
@@ -59,7 +60,8 @@ func TestConcurrentMixedStrategiesByteIdentical(t *testing.T) {
 		t.Fatalf("stress needs >= 8 queries, have %d", len(queries))
 	}
 
-	// Serial references first, sequentially.
+	// Serial references once, sequentially; every scheduler
+	// configuration below must reproduce these bytes.
 	want := make([]*Result, len(queries))
 	for i, tq := range queries {
 		q := tq.q
@@ -71,42 +73,69 @@ func TestConcurrentMixedStrategiesByteIdentical(t *testing.T) {
 		want[i] = res
 	}
 
-	// Fire everything at once on the shared runtime.
-	var wg sync.WaitGroup
-	errs := make([]error, len(queries))
-	got := make([]*Result, len(queries))
-	for i, tq := range queries {
-		wg.Add(1)
-		go func(i int, q JoinQuery, name string) {
-			defer wg.Done()
-			q.Parallelism = 4
-			q.Runtime = rt
-			res, err := ProjectJoin(q)
-			if err != nil {
-				errs[i] = fmt.Errorf("%s: %w", name, err)
-				return
+	for _, mode := range []struct {
+		name string
+		cfg  RuntimeConfig
+	}{
+		{"steal=topo", RuntimeConfig{StealPolicy: StealTopo}},
+		{"steal=off", RuntimeConfig{StealPolicy: StealOff}},
+		{"steal=topo/pinned", RuntimeConfig{StealPolicy: StealTopo, PinWorkers: true}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			rt := NewRuntime(mode.cfg)
+			defer rt.Close()
+
+			// Fire everything at once on the shared runtime.
+			var wg sync.WaitGroup
+			errs := make([]error, len(queries))
+			got := make([]*Result, len(queries))
+			for i, tq := range queries {
+				wg.Add(1)
+				go func(i int, q JoinQuery, name string) {
+					defer wg.Done()
+					q.Parallelism = 4
+					q.Runtime = rt
+					res, err := ProjectJoin(q)
+					if err != nil {
+						errs[i] = fmt.Errorf("%s: %w", name, err)
+						return
+					}
+					got[i] = res
+				}(i, tq.q, tq.name)
 			}
-			got[i] = res
-		}(i, tq.q, tq.name)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got[i].N != want[i].N {
-			t.Fatalf("%s: concurrent N=%d, serial N=%d", queries[i].name, got[i].N, want[i].N)
-		}
-		if !reflect.DeepEqual(got[i].Cols, want[i].Cols) {
-			t.Fatalf("%s: concurrent result differs from serial bytes", queries[i].name)
-		}
-		if got[i].Timing.Queue < 0 || got[i].Timing.Queue > got[i].Timing.Total {
-			t.Fatalf("%s: queue time %v outside [0, total=%v]",
-				queries[i].name, got[i].Timing.Queue, got[i].Timing.Total)
-		}
-	}
-	if rt.ActiveQueries() != 0 || rt.QueuedQueries() != 0 {
-		t.Fatalf("runtime not drained: %d active, %d queued", rt.ActiveQueries(), rt.QueuedQueries())
+			wg.Wait()
+			var tasks, local int64
+			for i, err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got[i].N != want[i].N {
+					t.Fatalf("%s: concurrent N=%d, serial N=%d", queries[i].name, got[i].N, want[i].N)
+				}
+				if !reflect.DeepEqual(got[i].Cols, want[i].Cols) {
+					t.Fatalf("%s: concurrent result differs from serial bytes", queries[i].name)
+				}
+				if got[i].Timing.Queue < 0 || got[i].Timing.Queue > got[i].Timing.Total {
+					t.Fatalf("%s: queue time %v outside [0, total=%v]",
+						queries[i].name, got[i].Timing.Queue, got[i].Timing.Total)
+				}
+				sched := got[i].Timing.Sched
+				if got[i].Workers > 0 && sched.Tasks() == 0 {
+					t.Fatalf("%s: parallel run reported no scheduled morsels", queries[i].name)
+				}
+				if mode.cfg.StealPolicy == StealOff && sched.Steals() != 0 {
+					t.Fatalf("%s: %d steals under StealOff", queries[i].name, sched.Steals())
+				}
+				tasks += sched.Tasks()
+				local += sched.LocalHits
+			}
+			t.Logf("%s: %d morsels, %d local (%.0f%%), runtime-wide %v",
+				mode.name, tasks, local, 100*float64(local)/float64(max(tasks, 1)),
+				rt.SchedStats())
+			if rt.ActiveQueries() != 0 || rt.QueuedQueries() != 0 {
+				t.Fatalf("runtime not drained: %d active, %d queued", rt.ActiveQueries(), rt.QueuedQueries())
+			}
+		})
 	}
 }
 
@@ -254,6 +283,75 @@ func TestConcurrentThroughputMultiCore(t *testing.T) {
 	}
 }
 
+// TestSchedStatsSameSourceWorkload is the acceptance check for the
+// affinity scheduler: 4 concurrent queries over the SAME source on one
+// runtime must surface scheduler counters end to end (public
+// Timing.Sched and Runtime.SchedStats), and the placement must win
+// more often than it loses — a majority of morsels served by their
+// home worker. This test is the only place the >50% ratio is hard
+// asserted (the CI joinrun smoke deliberately gates on the weaker
+// nonzero-local-hits check, with the full counters printed for
+// context); the assertion applies only on genuine multi-core boxes
+// and without -race (instrumentation stretches morsel bodies,
+// exaggerating idleness and steal rates).
+func TestSchedStatsSameSourceWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs full-size relations")
+	}
+	const pi = 2
+	larger, smaller := workloadRelations(t,
+		workload.Params{N: 64 << 10, Omega: pi + 1, HitRate: 1, SelLarger: 1, SelSmaller: 1, Seed: 95}, pi)
+	rt := NewRuntime(RuntimeConfig{MaxConcurrentQueries: 4})
+	defer rt.Close()
+	if rt.StealPolicy() != StealTopo {
+		t.Fatalf("default steal policy %v, want topo", rt.StealPolicy())
+	}
+
+	q := JoinQuery{
+		Larger: larger, Smaller: smaller,
+		LargerKey: "key", SmallerKey: "key",
+		LargerProject: projNames(pi), SmallerProject: projNames(pi),
+		Strategy: NSMPostDecluster, Parallelism: 2, Runtime: rt,
+	}
+	var wg sync.WaitGroup
+	results := make([]*Result, 4)
+	errs := make([]error, 4)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = ProjectJoin(q)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		s := results[i].Timing.Sched
+		if s.Tasks() == 0 {
+			t.Fatalf("query %d: no morsels in Timing.Sched", i)
+		}
+		if s.Tasks() != s.LocalHits+s.Steals() {
+			t.Fatalf("query %d: counter arithmetic mismatch %+v", i, s)
+		}
+	}
+	agg := rt.SchedStats()
+	t.Logf("4 same-source queries: %d morsels, %.0f%% local (sib=%d shared=%d remote=%d)",
+		agg.Tasks(), 100*agg.LocalHitRate(), agg.StealsSibling, agg.StealsShared, agg.StealsRemote)
+	if agg.Tasks() == 0 {
+		t.Fatal("runtime-wide scheduler counters empty")
+	}
+	// The threshold needs workers on genuine cores: with GOMAXPROCS
+	// oversubscribing the physical CPUs (e.g. the -cpu 4 leg on a
+	// 1-core box) only one worker runs at a time and it rightly steals
+	// everyone else's morsels, so only the counters' plumbing is
+	// checked above.
+	if !raceEnabled && runtime.NumCPU() >= runtime.GOMAXPROCS(0) && agg.LocalHitRate() <= 0.5 {
+		t.Errorf("local-hit rate %.2f not above 50%% on the same-source workload", agg.LocalHitRate())
+	}
+}
+
 // TestStrategyStringRoundTrip pins the satellite fix: every strategy
 // constant has a distinct canonical name (DSMPre used to print
 // "DSM-pre-phash", colliding with NSMPrePhash's suffix style), and
@@ -286,6 +384,35 @@ func TestStrategyStringRoundTrip(t *testing.T) {
 	}
 }
 
+// TestStealPolicyRoundTrip pins the public scheduling knobs: every
+// policy has a distinct name that parses back, and the config reaches
+// the runtime.
+func TestStealPolicyRoundTrip(t *testing.T) {
+	for _, p := range []StealPolicy{StealTopo, StealAny, StealOff} {
+		back, err := ParseStealPolicy(p.String())
+		if err != nil {
+			t.Fatalf("ParseStealPolicy(%q): %v", p.String(), err)
+		}
+		if back != p {
+			t.Fatalf("ParseStealPolicy(%q) = %v, want %v", p.String(), back, p)
+		}
+	}
+	if _, err := ParseStealPolicy("nope"); err == nil {
+		t.Fatal("unknown policy names must error")
+	}
+	rt := NewRuntime(RuntimeConfig{Workers: 2, StealPolicy: StealOff})
+	defer rt.Close()
+	if rt.StealPolicy() != StealOff {
+		t.Fatalf("runtime policy %v, want off", rt.StealPolicy())
+	}
+	rtPin := NewRuntime(RuntimeConfig{Workers: 2, PinWorkers: true})
+	defer rtPin.Close()
+	if got := rtPin.PinnedWorkers(); got < 0 || got > 2 {
+		t.Fatalf("pinned workers %d outside [0,2]", got)
+	}
+	t.Logf("pinned %d of 2 workers (best-effort)", rtPin.PinnedWorkers())
+}
+
 // TestDefaultRuntimeShared pins the lazy process default: parallel
 // queries without an explicit Runtime share one runtime instance, and
 // it matches the machine.
@@ -294,8 +421,12 @@ func TestDefaultRuntimeShared(t *testing.T) {
 	if a != b {
 		t.Fatal("DefaultRuntime must return one process-wide instance")
 	}
-	if a.Workers() != runtime.GOMAXPROCS(0) {
-		t.Fatalf("default runtime has %d workers, want GOMAXPROCS=%d",
-			a.Workers(), runtime.GOMAXPROCS(0))
+	// The singleton sizes itself from GOMAXPROCS at first use; under
+	// the -cpu test leg GOMAXPROCS varies between runs of this test
+	// while the singleton persists, so exact equality cannot be
+	// asserted here — only that it was sized from a real setting.
+	if a.Workers() < 1 {
+		t.Fatalf("default runtime has %d workers", a.Workers())
 	}
+	t.Logf("default runtime: %d workers (current GOMAXPROCS=%d)", a.Workers(), runtime.GOMAXPROCS(0))
 }
