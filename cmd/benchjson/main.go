@@ -49,8 +49,11 @@ import (
 )
 
 // Report is the trajectory record: machine shape plus ns/op per
-// benchmark.
+// benchmark. Label names the runner that produced the record (set
+// with -label, e.g. "ci-ubuntu-latest-4core"), so a baseline array
+// holding several machine shapes stays self-describing.
 type Report struct {
+	Label      string             `json:"label,omitempty"`
 	Cores      int                `json:"cores"`
 	GOMAXPROCS int                `json:"gomaxprocs"`
 	GoVersion  string             `json:"go"`
@@ -73,6 +76,7 @@ func (s *sameRunChecks) Set(v string) error { *s = append(*s, v); return nil }
 
 func main() {
 	out := flag.String("out", "BENCH_ci.json", "file to write the JSON record to")
+	label := flag.String("label", "", "name for this record's runner (stored in the JSON, e.g. ci-ubuntu-latest-4core)")
 	baseline := flag.String("baseline", "", "baseline JSON record to gate against (empty = record only)")
 	maxRegress := flag.Float64("maxregress", 0.25, "fail when a benchmark is slower than baseline by more than this fraction")
 	var sameRun sameRunChecks
@@ -80,6 +84,7 @@ func main() {
 	flag.Parse()
 
 	rep := Report{
+		Label:      *label,
 		Cores:      runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		GoVersion:  runtime.Version(),

@@ -21,16 +21,29 @@
 // Scheduler flags: -steal topo|any|off picks the work-stealing
 // policy, -pin pins workers to cores (best-effort), -schedstats
 // prints the affinity scheduler's counters (local hits, steals by
-// topology distance, local-hit rate) per query and runtime-wide, and
-// -minlocal M / -minlocalrate R exit non-zero unless the runtime
-// recorded at least M local hits / a local-hit rate of at least R —
-// the CI assertions that partition-affine placement genuinely
-// engaged.
+// topology distance, local-hit rate) per query and runtime-wide —
+// lifetime and windowed — and -minlocal M / -minlocalrate R exit
+// non-zero unless the runtime recorded at least M local hits / a
+// local-hit rate of at least R — the CI assertions that
+// partition-affine placement genuinely engaged.
+//
+// Observability flags: -traceout FILE records every query's execution
+// as span events and writes one merged Chrome trace-event JSON
+// document, loadable in Perfetto (ui.perfetto.dev); -metricsaddr ADDR
+// serves the runtime's Prometheus-style metrics on ADDR (/metrics,
+// plus /debug/pprof) for the duration of the run and self-scrapes
+// them once at the end; -pproflabels labels every morsel's goroutine
+// with (query, phase, worker) for CPU profiles. -minspans S /
+// -mincounters C exit non-zero unless the trace recorded at least S
+// events / the self-scrape parsed at least C samples — the CI
+// assertions that the observability layer genuinely engaged.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	goruntime "runtime"
 	"sync"
@@ -39,6 +52,7 @@ import (
 	"radixdecluster/internal/costmodel"
 	"radixdecluster/internal/exec"
 	"radixdecluster/internal/mem"
+	"radixdecluster/internal/obs"
 	"radixdecluster/internal/strategy"
 	"radixdecluster/internal/workload"
 )
@@ -62,6 +76,11 @@ func main() {
 	minLocal := flag.Int("minlocal", 0, "fail (exit 1) unless the runtime records at least this many local-hit morsels")
 	minLocalRate := flag.Float64("minlocalrate", 0, "fail (exit 1) unless the runtime's local-hit rate reaches this fraction")
 	baseline := flag.Bool("baseline", false, "with -concurrency > 1: also run the queries sequentially on per-query pools and report the speedup")
+	traceOut := flag.String("traceout", "", "write the run's execution trace(s) as Chrome trace-event JSON to this file (open in Perfetto)")
+	metricsAddr := flag.String("metricsaddr", "", "serve the shared runtime's Prometheus metrics and pprof on this address (e.g. :9090 or 127.0.0.1:0) and self-scrape once after the run")
+	pprofLabels := flag.Bool("pproflabels", false, "label every morsel's goroutine with (query, phase, worker) for CPU profiles")
+	minSpans := flag.Int("minspans", 0, "fail (exit 1) unless -traceout records at least this many span events")
+	minCounters := flag.Int("mincounters", 0, "fail (exit 1) unless the -metricsaddr self-scrape parses at least this many samples")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	flag.Parse()
 
@@ -102,7 +121,16 @@ func main() {
 		if *pin || *schedStats || steal != exec.StealTopo {
 			fail(fmt.Errorf("-pin/-schedstats/-steal require -concurrency > 1 (single-query runs use a per-query pool with no placement, stealing or pinning)"))
 		}
+		if *metricsAddr != "" || *minCounters > 0 || *pprofLabels {
+			fail(fmt.Errorf("-metricsaddr/-mincounters/-pproflabels require -concurrency > 1 (metrics and labels live on the shared runtime)"))
+		}
 		cfg := strategy.Config{Hier: mem.Pentium4(), Parallelism: *parallel}
+		var tr *obs.Trace
+		if *traceOut != "" {
+			tr = obs.NewTrace(*strat)
+			cfg.Trace = tr
+			cfg.QueryTag = *strat
+		}
 		start := time.Now()
 		res, err := runOnce(cfg)
 		if err != nil {
@@ -112,6 +140,9 @@ func main() {
 		fmt.Printf("plan: joinbits=%d largerbits=%d smallerbits=%d window=%d methods=%v/%v workers=%d\n",
 			res.JoinBits, res.LargerBits, res.SmallerBits, res.Window, res.LargerMethod, res.SmallerMethod, res.Workers)
 		fmt.Printf("phases: %s\n", res.Phases)
+		if *traceOut != "" {
+			writeTraces(*traceOut, *minSpans, tr)
+		}
 		return
 	}
 
@@ -158,12 +189,24 @@ func main() {
 		admitKind = "adaptive"
 	}
 	rt := exec.NewRuntimeOpts(exec.Options{MaxConcurrent: admit, ShareScans: *share,
-		Steal: steal, PinWorkers: *pin})
+		Steal: steal, PinWorkers: *pin,
+		Metrics: *metricsAddr != "", PprofLabels: *pprofLabels})
 	defer rt.Close()
 	topo := rt.Topology()
 	fmt.Printf("shared runtime: %d workers, admission bound %d (%s), scan sharing %v, steal %v, topology %s (%d cpus, %d nodes), pinned %d\n",
 		rt.Workers(), rt.MaxConcurrent(), admitKind, rt.ShareScans(), rt.Steal(),
 		topo.Source, len(topo.CPUs), topo.Nodes(), rt.PinnedWorkers())
+
+	var metricsSrv *obs.Server
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, rt.MetricsRegistry())
+		if err != nil {
+			fail(err)
+		}
+		metricsSrv = srv
+		defer metricsSrv.Close()
+		fmt.Printf("metrics: http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr())
+	}
 
 	type outcome struct {
 		res     *strategy.Result
@@ -171,13 +214,28 @@ func main() {
 		err     error
 	}
 	outs := make([]outcome, *concurrency)
+	var traces []*obs.Trace
+	if *traceOut != "" {
+		traces = make([]*obs.Trace, *concurrency)
+		for i := range traces {
+			traces[i] = obs.NewTrace(fmt.Sprintf("query %d (%s)", i, *strat))
+		}
+	}
+	// Snapshot the runtime's lifetime counters so the concurrent leg
+	// reports its own scheduling deltas (SchedStats.Sub) — on a fresh
+	// runtime the two coincide, but the delta stays honest if anything
+	// ran before this leg.
+	preSched := rt.SchedStats()
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := 0; i < *concurrency; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			cfg := strategy.Config{Hier: mem.Pentium4(), Parallelism: par, Runtime: rt}
+			cfg := strategy.Config{Hier: mem.Pentium4(), Parallelism: par, Runtime: rt, QueryTag: *strat}
+			if traces != nil {
+				cfg.Trace = traces[i]
+			}
 			t0 := time.Now()
 			res, err := runOnce(cfg)
 			outs[i] = outcome{res: res, elapsed: time.Since(t0), err: err}
@@ -205,10 +263,19 @@ func main() {
 	if *baseline && wall > 0 {
 		fmt.Printf("speedup over sequential per-query pools: %.2fx\n",
 			seqElapsed.Seconds()/wall.Seconds())
+		fmt.Printf("concurrent-leg sched delta: %v\n", rt.SchedStats().Sub(preSched))
 	}
 	sched := rt.SchedStats()
 	if *schedStats {
 		fmt.Printf("runtime sched: %v (affinity misses %d)\n", sched, sched.AffinityMisses())
+		fmt.Printf("runtime sched rates: lifetime warm=%.2f local=%.2f | window %v\n",
+			sched.WarmHitRate(), sched.LocalHitRate(), rt.SchedStatsWindow())
+	}
+	if *traceOut != "" {
+		writeTraces(*traceOut, *minSpans, traces...)
+	}
+	if metricsSrv != nil {
+		scrapeMetrics(metricsSrv.Addr(), *minCounters)
 	}
 	if hits := rt.SharedScanHits(); hits < int64(*minShared) {
 		fail(fmt.Errorf("shared-scan hits %d below required -minshared %d", hits, *minShared))
@@ -219,6 +286,52 @@ func main() {
 	if *minLocalRate > 0 && sched.LocalHitRate() < *minLocalRate {
 		fail(fmt.Errorf("local-hit rate %.2f below required -minlocalrate %.2f (%v)",
 			sched.LocalHitRate(), *minLocalRate, sched))
+	}
+}
+
+// writeTraces renders the traces as one Chrome trace-event JSON file
+// and enforces -minspans.
+func writeTraces(path string, minSpans int, traces ...*obs.Trace) {
+	spans := 0
+	for _, t := range traces {
+		spans += t.Len()
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := obs.WriteChrome(f, traces...); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("trace: %d span events from %d queries -> %s (open in ui.perfetto.dev)\n",
+		spans, len(traces), path)
+	if spans < minSpans {
+		fail(fmt.Errorf("trace recorded %d span events, below required -minspans %d", spans, minSpans))
+	}
+}
+
+// scrapeMetrics GETs the runtime's own /metrics endpoint once —
+// proving the listener serves parseable exposition text — and
+// enforces -mincounters.
+func scrapeMetrics(addr string, minCounters int) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		fail(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		fail(err)
+	}
+	samples := obs.ParseSamples(string(body))
+	fmt.Printf("metrics self-scrape: %d samples (queries_total=%g)\n",
+		len(samples), samples["radixdecluster_queries_total"])
+	if len(samples) < minCounters {
+		fail(fmt.Errorf("metrics self-scrape parsed %d samples, below required -mincounters %d", len(samples), minCounters))
 	}
 }
 

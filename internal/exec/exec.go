@@ -69,10 +69,14 @@
 package exec
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"radixdecluster/internal/obs"
 )
 
 // Pool is the worker handle every parallel operator runs on. It comes
@@ -101,6 +105,17 @@ type Pool struct {
 	ls      *lease // admitted lease; acquired lazily on first Run
 
 	sharedHits atomic.Int64 // scans served by another pipeline's pass
+
+	// Observability context, set by the owning Pipeline before
+	// execution and captured into each submitted job: the per-query
+	// trace buffer (nil = off), the query tag for pprof labels, the
+	// current phase name, and the phase's prebuilt pprof label set.
+	// All written from the pipeline's Execute goroutine; jobs capture
+	// them at submission, so workers never read the fields directly.
+	trace     *obs.Trace
+	queryTag  string
+	phase     string
+	labelsCtx context.Context
 }
 
 // job is one Run invocation: a morsel counter shared by all workers
@@ -110,6 +125,8 @@ type job struct {
 	ntasks int64
 	fn     func(worker, task int, s *Scratch)
 	wg     *sync.WaitGroup
+	trace  *obs.Trace // per-morsel spans (nil = off)
+	phase  string
 }
 
 // New creates a pool of the given size. workers <= 0 selects
@@ -156,8 +173,36 @@ func (p *Pool) attach() time.Duration {
 	}
 	start := time.Now()
 	p.lease()
-	return time.Since(start)
+	d := time.Since(start)
+	if p.rt.metrics != nil {
+		p.rt.metrics.admissionWait.Observe(d.Seconds())
+	}
+	return d
 }
+
+// setPhase records the pipeline's current phase name on the pool (and
+// rebuilds the phase's pprof label set when the runtime labels
+// morsels). Called by Pipeline.Execute between phases, on the same
+// goroutine that submits jobs.
+func (p *Pool) setPhase(name string) {
+	p.phase = name
+	p.labelsCtx = nil
+	if p.rt != nil && p.rt.labels {
+		tag := p.queryTag
+		if tag == "" {
+			tag = "query"
+		}
+		p.labelsCtx = pprof.WithLabels(context.Background(),
+			pprof.Labels("query", tag, "phase", name))
+	}
+}
+
+// curPhase returns the pipeline's current phase name.
+func (p *Pool) curPhase() string { return p.phase }
+
+// jobLabels returns the pprof label set jobs submitted in the current
+// phase should run under (nil when labeling is off).
+func (p *Pool) jobLabels() context.Context { return p.labelsCtx }
 
 // lease returns the admitted lease, admitting on first use.
 func (p *Pool) lease() *lease {
@@ -221,7 +266,14 @@ func (p *Pool) worker(id int) {
 			if t >= j.ntasks {
 				break
 			}
-			j.fn(id, int(t), s)
+			if j.trace == nil {
+				j.fn(id, int(t), s)
+			} else {
+				start := time.Now()
+				j.fn(id, int(t), s)
+				j.trace.Span("morsel", j.phase, id, start, time.Since(start),
+					map[string]int64{"task": t})
+			}
 		}
 		j.wg.Done()
 	}
@@ -253,11 +305,12 @@ func (p *Pool) RunAff(ntasks int, aff func(task int) uint64, fn func(worker, tas
 		return
 	}
 	if p.rt != nil {
-		p.lease().run(ntasks, p.affSeed, aff, fn)
+		p.lease().run(p, ntasks, p.affSeed, aff, fn)
 		return
 	}
 	var wg sync.WaitGroup
-	j := job{next: new(atomic.Int64), ntasks: int64(ntasks), fn: fn, wg: &wg}
+	j := job{next: new(atomic.Int64), ntasks: int64(ntasks), fn: fn, wg: &wg,
+		trace: p.trace, phase: p.phase}
 	wg.Add(p.workers)
 	for i := 0; i < p.workers; i++ {
 		p.jobs <- j

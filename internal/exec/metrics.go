@@ -1,0 +1,71 @@
+package exec
+
+// Prometheus-style metrics for the shared Runtime (Options.Metrics).
+// The series split into two flavors, chosen so that enabling metrics
+// changes nothing on the morsel hot path:
+//
+//   - Pull-based (CounterFunc/GaugeFunc): evaluated only at scrape
+//     time over the atomics and mutex-guarded state the runtime
+//     maintains regardless — scheduler counters, admission state,
+//     shared-scan hits, windowed rates.
+//   - Push-based: the admission-wait histogram (one Observe per
+//     admission, an event that already costs a mutex round-trip) and
+//     the per-phase seconds counters (one Add per phase, a handful
+//     per query).
+
+import "radixdecluster/internal/obs"
+
+// rtMetrics bundles the runtime's registry with its pushed handles.
+type rtMetrics struct {
+	reg           *obs.Registry
+	queriesTotal  *obs.Counter
+	admissionWait *obs.Histogram
+	phaseSeconds  *obs.CounterVec
+}
+
+// newRTMetrics builds the registry for rt. The pull-based series
+// close over rt; they are safe to evaluate at any time, including
+// while queries run.
+func newRTMetrics(rt *Runtime) *rtMetrics {
+	reg := obs.NewRegistry()
+	m := &rtMetrics{reg: reg}
+
+	reg.GaugeFunc("radixdecluster_workers",
+		"Size of the shared worker pool.",
+		func() float64 { return float64(rt.Workers()) })
+	reg.GaugeFunc("radixdecluster_active_queries",
+		"Pipelines currently admitted and executing.",
+		func() float64 { return float64(rt.ActiveQueries()) })
+	reg.GaugeFunc("radixdecluster_admission_queue_depth",
+		"Pipelines waiting in the FIFO admission queue.",
+		func() float64 { return float64(rt.QueuedQueries()) })
+	m.queriesTotal = reg.Counter("radixdecluster_queries_total",
+		"Pipelines that have requested admission since the runtime started.")
+	m.admissionWait = reg.Histogram("radixdecluster_admission_wait_seconds",
+		"Time pipelines spent waiting for admission control.",
+		obs.ExpBuckets(1e-6, 4, 12))
+	reg.CounterFuncs("radixdecluster_morsels_total",
+		"Morsels scheduled, by placement outcome (local hit or steal distance).",
+		"placement", []obs.FuncSeries{
+			{Label: "local", Fn: func() float64 { return float64(rt.SchedStats().LocalHits) }},
+			{Label: "steal_sibling", Fn: func() float64 { return float64(rt.SchedStats().StealsSibling) }},
+			{Label: "steal_shared", Fn: func() float64 { return float64(rt.SchedStats().StealsShared) }},
+			{Label: "steal_remote", Fn: func() float64 { return float64(rt.SchedStats().StealsRemote) }},
+		})
+	reg.CounterFunc("radixdecluster_shared_scan_hits_total",
+		"Scans served by a cooperative pass another query had already started.",
+		func() float64 { return float64(rt.SharedScanHits()) })
+	m.phaseSeconds = reg.CounterVec("radixdecluster_phase_seconds_total",
+		"Wall-clock seconds spent executing pipeline phases, by phase kind.",
+		"phase")
+	reg.GaugeFunc("radixdecluster_sched_warm_hit_rate_lifetime",
+		"Lifetime warm-hit rate (local hits + sibling steals over all morsels).",
+		func() float64 { return rt.SchedStats().WarmHitRate() })
+	reg.GaugeFunc("radixdecluster_sched_warm_hit_rate_window",
+		"Windowed (EWMA) warm-hit rate — the planner's affinity feedback signal.",
+		func() float64 { return rt.SchedStatsWindow().WarmHitRate() })
+	reg.CounterFunc("radixdecluster_sched_windows_total",
+		"Completed windowed-stats intervals.",
+		func() float64 { return float64(rt.SchedStatsWindow().Windows) })
+	return m
+}

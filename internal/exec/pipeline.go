@@ -35,6 +35,7 @@ import (
 	"radixdecluster/internal/core"
 	"radixdecluster/internal/join"
 	"radixdecluster/internal/mem"
+	"radixdecluster/internal/obs"
 	"radixdecluster/internal/posjoin"
 	"radixdecluster/internal/radix"
 )
@@ -120,12 +121,40 @@ func (t Timings) Queue() time.Duration {
 	return q
 }
 
+// tracePipelineTID is the synthetic trace track (Chrome tid) carrying
+// pipeline-level spans — admission, whole phases, shared-scan hits —
+// kept clear of the worker tracks (worker ids are always far below it).
+const tracePipelineTID = 1000
+
 // Pipeline is an ordered list of phases bound to one Engine. Build it
 // with NewPipeline + Then, run it with Execute, release the pool with
 // Close.
 type Pipeline struct {
 	eng    *Engine
 	phases []Phase
+	trace  *obs.Trace // nil = tracing off
+}
+
+// SetTrace attaches a per-query trace buffer: Execute emits one span
+// per phase (with queue waits, morsel counts and shared-scan hits as
+// args) plus an admission span, and runtime/pool workers emit one
+// span per morsel (with worker id, task and steal distance). A nil
+// trace — the default — disables all emission. Call before Execute.
+func (p *Pipeline) SetTrace(t *obs.Trace) {
+	p.trace = t
+	if p.eng.pool != nil {
+		p.eng.pool.trace = t
+	}
+}
+
+// SetQueryTag names the query for pprof labels (e.g. the strategy
+// name): when the runtime runs with Options.PprofLabels, every morsel
+// of this pipeline executes under pprof.Labels("query", tag,
+// "phase", ..., "worker", ...). Call before Execute.
+func (p *Pipeline) SetQueryTag(tag string) {
+	if p.eng.pool != nil {
+		p.eng.pool.queryTag = tag
+	}
 }
 
 // NewPipeline creates a pipeline on a fresh engine: workers <= 0 =
@@ -175,29 +204,55 @@ func (p *Pipeline) Then(kind PhaseKind, name string, run func(e *Engine) error) 
 // Execute runs the phases in order, accumulating each phase's elapsed
 // time into its kind's bucket. The first phase error aborts the run;
 // the timings gathered so far are returned alongside it.
+//
+// With a trace attached (SetTrace) each phase emits a span on the
+// pipeline track carrying its queue wait, morsel count and shared-
+// scan hits; admission emits its own span when it waited. On a
+// metrics-enabled runtime each phase's elapsed seconds feed the
+// per-phase counter family.
 func (p *Pipeline) Execute() (Timings, error) {
 	var tm Timings
 	start := time.Now()
 	if p.eng.pool != nil {
+		admStart := time.Now()
 		tm.Admission = p.eng.pool.attach()
+		if tm.Admission > 0 {
+			p.trace.Span("admission", "sched", tracePipelineTID, admStart, tm.Admission, nil)
+		}
 	}
+	var err error
 	for _, ph := range p.phases {
+		if p.eng.pool != nil {
+			p.eng.pool.setPhase(ph.Kind.String())
+		}
 		t := time.Now()
 		q0 := p.eng.queueWait()
-		err := ph.Run(p.eng)
-		tm.ByKind[ph.Kind] += time.Since(t)
-		tm.QueueByKind[ph.Kind] += p.eng.queueWait() - q0
+		sched0 := p.eng.schedStats()
+		hits0 := p.eng.sharedScanHits()
+		err = ph.Run(p.eng)
+		elapsed := time.Since(t)
+		qw := p.eng.queueWait() - q0
+		tm.ByKind[ph.Kind] += elapsed
+		tm.QueueByKind[ph.Kind] += qw
+		if p.trace != nil {
+			p.trace.Span(ph.Name, ph.Kind.String(), tracePipelineTID, t, elapsed,
+				map[string]int64{
+					"queue_wait_ns":    int64(qw),
+					"morsels":          p.eng.schedStats().Sub(sched0).Tasks(),
+					"shared_scan_hits": p.eng.sharedScanHits() - hits0,
+				})
+		}
+		if m := p.eng.rtMetrics(); m != nil {
+			m.phaseSeconds.With(ph.Kind.String()).Add(elapsed.Seconds())
+		}
 		if err != nil {
-			tm.Total = time.Since(start)
-			tm.SharedScanHits = p.eng.sharedScanHits()
-			tm.Sched = p.eng.schedStats()
-			return tm, err
+			break
 		}
 	}
 	tm.Total = time.Since(start)
 	tm.SharedScanHits = p.eng.sharedScanHits()
 	tm.Sched = p.eng.schedStats()
-	return tm, nil
+	return tm, err
 }
 
 // Engine dispatches substrate operators to the serial paper code (0
@@ -258,6 +313,16 @@ func (e *Engine) schedStats() SchedStats {
 		return SchedStats{}
 	}
 	return e.pool.schedStats()
+}
+
+// rtMetrics returns the shared runtime's metrics bundle, nil whenever
+// the engine is serial, owns its pool, or the runtime was built
+// without Options.Metrics.
+func (e *Engine) rtMetrics() *rtMetrics {
+	if e.pool == nil || e.pool.rt == nil {
+		return nil
+	}
+	return e.pool.rt.metrics
 }
 
 // parallel reports whether an n-item operator should run on the pool.

@@ -58,14 +58,18 @@ package exec
 // only select which worker executes a morsel, never what it computes.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"radixdecluster/internal/calibrator"
+	"radixdecluster/internal/obs"
 )
 
 // StealPolicy selects how idle workers take work from other workers'
@@ -174,6 +178,67 @@ func (s SchedStats) Add(o SchedStats) SchedStats {
 	}
 }
 
+// Sub returns the per-field difference s - prev: the counters
+// attributable to the work between two snapshots of a cumulative
+// counter set. This is how per-run (or per-window) numbers are
+// recovered from the runtime's lifetime counters.
+func (s SchedStats) Sub(prev SchedStats) SchedStats {
+	return SchedStats{
+		LocalHits:     s.LocalHits - prev.LocalHits,
+		StealsSibling: s.StealsSibling - prev.StealsSibling,
+		StealsShared:  s.StealsShared - prev.StealsShared,
+		StealsRemote:  s.StealsRemote - prev.StealsRemote,
+	}
+}
+
+// SchedWindowTasks is the width, in morsels, of one windowed-stats
+// interval: every SchedWindowTasks scheduling decisions the runtime
+// snapshots the cumulative counters, takes the delta against the
+// previous snapshot, and folds the window's hit rates into an EWMA.
+// Small enough to turn around within one concurrent query batch,
+// large enough that a window's rates are not single-morsel noise.
+const SchedWindowTasks = 256
+
+// schedWindowAlpha is the EWMA weight of the newest window: 0.5
+// halves the influence of a window every subsequent window, so the
+// estimate tracks a regime shift within ~2 windows while still
+// smoothing single-window jitter.
+const schedWindowAlpha = 0.5
+
+// SchedWindow is the windowed counterpart of SchedStats: per-interval
+// snapshot deltas folded into exponentially weighted moving averages.
+// Where the lifetime counters answer "what did this runtime do since
+// it started", the window answers "what is the schedule doing NOW" —
+// after a regime shift (a steal-policy change, a workload mix change,
+// a query burst) the lifetime average smears the old regime into the
+// new one indefinitely, while the EWMA forgets it geometrically. The
+// planner's affinity feedback reads the windowed rate for exactly
+// this reason.
+type SchedWindow struct {
+	// Last is the most recent complete window's counter delta.
+	Last SchedStats
+	// WarmEWMA / LocalEWMA are the exponentially weighted moving
+	// averages of the per-window WarmHitRate / LocalHitRate
+	// (newest-window weight schedWindowAlpha).
+	WarmEWMA  float64
+	LocalEWMA float64
+	// Windows counts complete windows folded in so far; 0 means no
+	// window has completed yet and the rates are meaningless.
+	Windows int64
+}
+
+// WarmHitRate returns the windowed warm-hit estimate — the
+// cache-warmth signal the planner feeds costmodel.Model.ForAffinity.
+func (w SchedWindow) WarmHitRate() float64 { return w.WarmEWMA }
+
+// LocalHitRate returns the windowed local-hit estimate.
+func (w SchedWindow) LocalHitRate() float64 { return w.LocalEWMA }
+
+func (w SchedWindow) String() string {
+	return fmt.Sprintf("warm=%.2f local=%.2f over %d windows of %d morsels (last %v)",
+		w.WarmEWMA, w.LocalEWMA, w.Windows, SchedWindowTasks, w.Last)
+}
+
 func (s SchedStats) String() string {
 	return fmt.Sprintf("local=%d steals=%d(sib=%d shared=%d remote=%d) hitrate=%.2f",
 		s.LocalHits, s.Steals(), s.StealsSibling, s.StealsShared, s.StealsRemote, s.LocalHitRate())
@@ -220,26 +285,35 @@ type Runtime struct {
 	workers       int
 	maxConcurrent int
 	shareScans    bool
-	steal         StealPolicy
 	pin           bool
+	labels        bool // pprof-label worker morsels (Options.PprofLabels)
 
-	topo    *calibrator.Topology
-	cpuOf   []int          // worker -> logical CPU id (pin target)
-	victims [][]stealEntry // per worker: other workers, steal order
+	topo        *calibrator.Topology
+	cpuOf       []int          // worker -> logical CPU id (pin target)
+	victims     [][]stealEntry // per worker: steal order, topology-sorted
+	victimsRing [][]stealEntry // per worker: steal order, plain ring
+	workerTags  []string       // worker id pre-rendered for pprof labels
 
 	mu     sync.Mutex
-	work   *sync.Cond // signals workers: placed morsels or shutdown
-	dq     []wdeque   // per-worker local deques (guarded by mu)
+	work   *sync.Cond  // signals workers: placed morsels or shutdown
+	dq     []wdeque    // per-worker local deques (guarded by mu)
+	steal  StealPolicy // current policy (mutable via SetStealPolicy)
 	closed bool
 
 	admitted int             // leases currently held
 	waiters  []chan struct{} // FIFO admission queue
+
+	// Windowed scheduler stats (guarded by mu — note already holds it).
+	winSince int        // morsels since the last window boundary
+	winPrev  SchedStats // cumulative counters at the last boundary
+	win      SchedWindow
 
 	poolSeq atomic.Uint64 // default affinity-seed source
 	sched   schedCounters // process-wide scheduler counters
 	pinned  atomic.Int64  // workers whose pin succeeded
 
 	scanReg scanRegistry // cooperative-scan registry (scanshare.go)
+	metrics *rtMetrics   // Prometheus-style registry hooks (nil = off)
 
 	wg sync.WaitGroup
 }
@@ -263,6 +337,13 @@ type rtJob struct {
 	enq     time.Time
 	started bool // first morsel claimed (guarded by Runtime.mu)
 	ls      *lease
+	// Observability (both nil/zero on the default fast path): trace
+	// receives one span per morsel, labels is the pprof label set
+	// (query, phase) workers apply around morsel bodies, phase the
+	// submitting pipeline's current phase name.
+	trace  *obs.Trace
+	labels context.Context
+	phase  string
 }
 
 // home places one task: hash(seed, key) mod workers. Equal keys under
@@ -376,6 +457,20 @@ type Options struct {
 	// sysfs on Linux, flat fallback elsewhere). Tests inject synthetic
 	// topologies here.
 	Topology *calibrator.Topology
+	// Metrics creates a Prometheus-style metrics registry for this
+	// runtime (MetricsRegistry): active queries, admission queue depth
+	// and wait histogram, morsels by placement, shared-scan hits,
+	// per-phase seconds, windowed and lifetime hit rates. Almost every
+	// series is pull-based over counters the runtime keeps anyway, so
+	// the hot path is unchanged; off (the default) costs nothing.
+	Metrics bool
+	// PprofLabels makes workers run every morsel under
+	// pprof.Labels("query", ..., "phase", ..., "worker", ...), so CPU
+	// profiles (e.g. from the /debug/pprof endpoint next to /metrics)
+	// attribute samples to strategies, phases and workers instead of
+	// one undifferentiated worker loop. Off by default: applying
+	// labels costs two goroutine-label swaps per morsel.
+	PprofLabels bool
 }
 
 // NewRuntime creates a runtime with the given worker count and
@@ -410,15 +505,23 @@ func NewRuntimeOpts(o Options) *Runtime {
 	rt := &Runtime{
 		workers: workers, maxConcurrent: maxConcurrent,
 		shareScans: o.ShareScans, steal: o.Steal, pin: o.PinWorkers,
-		topo: topo,
+		labels: o.PprofLabels, topo: topo,
 	}
 	rt.work = sync.NewCond(&rt.mu)
 	rt.dq = make([]wdeque, workers)
 	rt.cpuOf = make([]int, workers)
+	rt.workerTags = make([]string, workers)
 	for w := range rt.cpuOf {
 		rt.cpuOf[w] = topo.CPUs[w%len(topo.CPUs)].ID
+		rt.workerTags[w] = strconv.Itoa(w)
 	}
-	rt.victims = buildVictims(topo, workers, o.Steal)
+	// Both steal orders are precomputed so SetStealPolicy can switch
+	// between them at run time without rebuilding tables under load.
+	rt.victims = buildVictims(topo, workers, StealTopo)
+	rt.victimsRing = buildVictims(topo, workers, StealAny)
+	if o.Metrics {
+		rt.metrics = newRTMetrics(rt)
+	}
 	rt.wg.Add(workers)
 	// Wait for every worker's pin attempt so PinnedWorkers is accurate
 	// the moment the constructor returns (pinning happens on the
@@ -466,8 +569,27 @@ func (rt *Runtime) Workers() int { return rt.workers }
 // pipelines executing at once.
 func (rt *Runtime) MaxConcurrent() int { return rt.maxConcurrent }
 
-// Steal returns the runtime's work-stealing policy.
-func (rt *Runtime) Steal() StealPolicy { return rt.steal }
+// Steal returns the runtime's current work-stealing policy.
+func (rt *Runtime) Steal() StealPolicy {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.steal
+}
+
+// SetStealPolicy switches the work-stealing policy at run time.
+// In-flight morsels are unaffected; the next idle-worker decision
+// uses the new policy. Byte-identity holds under every policy, so
+// switching mid-workload is safe — it exists so operators (and the
+// windowed-stats tests) can force a scheduling regime shift without
+// rebuilding the runtime.
+func (rt *Runtime) SetStealPolicy(p StealPolicy) {
+	rt.mu.Lock()
+	rt.steal = p
+	rt.mu.Unlock()
+	// A policy change can make previously unreachable morsels
+	// stealable; wake sleeping workers so they re-evaluate.
+	rt.work.Broadcast()
+}
 
 // Topology returns the machine layout the scheduler places against.
 func (rt *Runtime) Topology() *calibrator.Topology { return rt.topo }
@@ -475,6 +597,26 @@ func (rt *Runtime) Topology() *calibrator.Topology { return rt.topo }
 // SchedStats returns the process-wide scheduler counters accumulated
 // across every job this runtime has executed.
 func (rt *Runtime) SchedStats() SchedStats { return rt.sched.stats() }
+
+// SchedStatsWindow returns the windowed scheduler stats: the last
+// complete SchedWindowTasks-morsel window's counter delta and the
+// EWMA hit rates across windows. Zero value (Windows == 0) until the
+// first window completes.
+func (rt *Runtime) SchedStatsWindow() SchedWindow {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.win
+}
+
+// MetricsRegistry returns the runtime's metrics registry (nil unless
+// Options.Metrics). Serve it with obs.Serve, or mount obs.NewMux on
+// an existing listener.
+func (rt *Runtime) MetricsRegistry() *obs.Registry {
+	if rt.metrics == nil {
+		return nil
+	}
+	return rt.metrics.reg
+}
 
 // PinnedWorkers returns how many workers successfully pinned their OS
 // thread (0 unless Options.PinWorkers; possibly < Workers when the
@@ -543,46 +685,73 @@ func (rt *Runtime) worker(w int, ready *sync.WaitGroup) {
 	ready.Done()
 	s := &Scratch{}
 	for {
-		j, t, ok := rt.nextTask(w)
+		j, t, dist, ok := rt.nextTask(w)
 		if !ok {
 			return
 		}
-		j.fn(w, t, s)
+		if j.trace == nil && j.labels == nil {
+			j.fn(w, t, s) // the default fast path: no timing, no labels
+		} else {
+			rt.observedMorsel(j, w, t, dist, s)
+		}
 		if j.pending.Add(-1) == 0 {
 			close(j.done)
 		}
 	}
 }
 
+// observedMorsel runs one morsel under the job's observability hooks:
+// pprof goroutine labels (query, phase, worker) around the body, and
+// a per-morsel trace span recording the worker, the task and the
+// steal distance (-1 = local hit on the home worker).
+func (rt *Runtime) observedMorsel(j *rtJob, w, t, dist int, s *Scratch) {
+	if j.labels != nil {
+		pprof.SetGoroutineLabels(pprof.WithLabels(j.labels, pprof.Labels("worker", rt.workerTags[w])))
+		defer pprof.SetGoroutineLabels(context.Background())
+	}
+	start := time.Now()
+	j.fn(w, t, s)
+	if j.trace != nil {
+		j.trace.Span("morsel", j.phase, w, start, time.Since(start),
+			map[string]int64{"task": int64(t), "dist": int64(dist)})
+	}
+}
+
 // nextTask blocks until worker w claims a morsel — local deque first,
-// then steals in victim order — or the runtime closes. Claim
-// accounting (queue waits, scheduler counters) happens here, under the
+// then steals in victim order — or the runtime closes. It reports the
+// claim's steal distance (-1 = local hit). Claim accounting (queue
+// waits, scheduler counters, windowed stats) happens here, under the
 // runtime mutex.
-func (rt *Runtime) nextTask(w int) (*rtJob, int, bool) {
+func (rt *Runtime) nextTask(w int) (*rtJob, int, int, bool) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	for {
 		if j, t, ok := rt.dq[w].popLocal(); ok {
 			rt.note(j, -1)
-			return j, t, true
+			return j, t, -1, true
 		}
 		if rt.steal != StealOff {
-			for _, v := range rt.victims[w] {
+			victims := rt.victims[w]
+			if rt.steal == StealAny {
+				victims = rt.victimsRing[w]
+			}
+			for _, v := range victims {
 				if j, t, ok := rt.dq[v.worker].steal(); ok {
 					rt.note(j, v.dist)
-					return j, t, true
+					return j, t, v.dist, true
 				}
 			}
 		}
 		if rt.closed {
-			return nil, 0, false
+			return nil, 0, 0, false
 		}
 		rt.work.Wait()
 	}
 }
 
 // note records one claim under rt.mu: first-morsel queue wait plus the
-// runtime-wide and per-lease scheduler counters.
+// runtime-wide and per-lease scheduler counters, and advances the
+// windowed-stats interval.
 func (rt *Runtime) note(j *rtJob, dist int) {
 	if !j.started {
 		j.started = true
@@ -590,6 +759,29 @@ func (rt *Runtime) note(j *rtJob, dist int) {
 	}
 	rt.sched.note(dist)
 	j.ls.sched.note(dist)
+	rt.winSince++
+	if rt.winSince >= SchedWindowTasks {
+		rt.rollWindow()
+	}
+}
+
+// rollWindow closes the current windowed-stats interval (under
+// rt.mu): snapshot the cumulative counters, fold the window's delta
+// rates into the EWMAs.
+func (rt *Runtime) rollWindow() {
+	cur := rt.sched.stats()
+	delta := cur.Sub(rt.winPrev)
+	rt.winPrev = cur
+	rt.winSince = 0
+	if rt.win.Windows == 0 {
+		rt.win.WarmEWMA = delta.WarmHitRate()
+		rt.win.LocalEWMA = delta.LocalHitRate()
+	} else {
+		rt.win.WarmEWMA = schedWindowAlpha*delta.WarmHitRate() + (1-schedWindowAlpha)*rt.win.WarmEWMA
+		rt.win.LocalEWMA = schedWindowAlpha*delta.LocalHitRate() + (1-schedWindowAlpha)*rt.win.LocalEWMA
+	}
+	rt.win.Last = delta
+	rt.win.Windows++
 }
 
 // submit places every morsel of j on its home worker's deque and wakes
@@ -619,15 +811,17 @@ type lease struct {
 
 // run executes fn over [0, ntasks) morsels on the shared workers and
 // returns when all have finished. aff maps a task to its affinity key
-// (nil: the task index); seed salts the placement hash per query/scan.
-// Like Pool.Run, fn must not submit nested jobs from within a morsel
-// body.
-func (l *lease) run(ntasks int, seed uint64, aff func(task int) uint64, fn func(worker, task int, s *Scratch)) {
+// (nil: the task index); seed salts the placement hash per query/scan;
+// p is the submitting pool, carrying the job's observability context
+// (trace buffer, pprof labels, current phase name). Like Pool.Run, fn
+// must not submit nested jobs from within a morsel body.
+func (l *lease) run(p *Pool, ntasks int, seed uint64, aff func(task int) uint64, fn func(worker, task int, s *Scratch)) {
 	if ntasks <= 0 {
 		return
 	}
 	j := &rtJob{ntasks: ntasks, fn: fn, aff: aff, seed: seed,
-		done: make(chan struct{}), enq: time.Now(), ls: l}
+		done: make(chan struct{}), enq: time.Now(), ls: l,
+		trace: p.trace, labels: p.jobLabels(), phase: p.curPhase()}
 	j.pending.Store(int64(ntasks))
 	l.rt.submit(j)
 	<-j.done
@@ -636,6 +830,9 @@ func (l *lease) run(ntasks int, seed uint64, aff func(task int) uint64, fn func(
 // admit blocks until admission control grants a slot (FIFO beyond
 // maxConcurrent concurrent pipelines) and returns the lease.
 func (rt *Runtime) admit() *lease {
+	if rt.metrics != nil {
+		rt.metrics.queriesTotal.Inc()
+	}
 	rt.mu.Lock()
 	if rt.closed {
 		rt.mu.Unlock()

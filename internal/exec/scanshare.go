@@ -38,6 +38,7 @@ import (
 	"reflect"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // scanChunkItems sizes shared-scan chunks: small enough that one
@@ -211,8 +212,10 @@ func (p *Pool) sharedScan(key ScanKey, n int, body func(Range) error) error {
 	sc, c, hit := p.rt.scanReg.attach(key, n, body)
 	if hit {
 		p.sharedHits.Add(1)
+		p.trace.Instant("shared-scan hit", "scan", tracePipelineTID, time.Now(),
+			map[string]int64{"chunks": int64(len(sc.chunks))})
 	}
-	ls.run(len(sc.chunks), key.Seed(), nil, func(_, _ int, _ *Scratch) { p.rt.scanReg.serve(sc) })
+	ls.run(p, len(sc.chunks), key.Seed(), nil, func(_, _ int, _ *Scratch) { p.rt.scanReg.serve(sc) })
 	// Our tokens have run, so every serve in c's window is claimed;
 	// stragglers claimed by other pipelines' tokens finish on their
 	// workers momentarily.

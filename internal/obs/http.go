@@ -1,0 +1,55 @@
+package obs
+
+// HTTP exposure: the metrics endpoint plus Go's pprof handlers on one
+// private mux — the seed of the query-service daemon's front door
+// (the ROADMAP's joinserve wraps this same mux). Served on an opt-in
+// listener; nothing here touches the global http.DefaultServeMux, so
+// embedding programs keep their own routing.
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Server is a running observability listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewMux returns the observability mux: /metrics rendering the
+// registry, /debug/pprof/* the standard Go profiling handlers
+// (profile, heap, goroutine, trace, ...). Exposed separately from
+// Serve so daemons can mount it on their own listener.
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr (":0" picks a free port; query the result with
+// Addr) and serves the observability mux on it until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(reg)}}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServeMetricsAndPprof boots a real listener on :0 and scrapes
+// both endpoints — the exact path the CLI self-scrape and any
+// Prometheus collector take.
+func TestServeMetricsAndPprof(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("http_test_total", "t")
+	c.Add(7)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body := get(t, "http://"+srv.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "http_test_total 7") {
+		t.Fatalf("/metrics body missing sample:\n%s", body)
+	}
+	if ParseSamples(body)["http_test_total"] != 7 {
+		t.Fatal("self-scrape did not parse the counter back")
+	}
+
+	code, body = get(t, "http://"+srv.Addr()+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d, body %.80s", code, body)
+	}
+}

@@ -55,13 +55,22 @@ const affinityFeedbackMinTasks = 256
 // private caches, steering toward fewer workers. The signal is
 // WarmHitRate, not LocalHitRate: sibling steals stay on the home's
 // physical core where the private caches really are warm.
+//
+// The rate is the runtime's WINDOWED one (Runtime.SchedStatsWindow)
+// when at least one window has completed: an EWMA over the last few
+// 256-morsel intervals tracks regime shifts — admission mix changes,
+// a steal-policy switch — that the lifetime average smears away.
+// Before the first window completes, the lifetime rate (past the same
+// warm-up floor) is the fallback.
 func (c Config) model() costmodel.Model {
 	m := costmodel.Model{H: c.hier()}.ForQueries(c.queries())
 	if c.Runtime != nil {
-		if st := c.Runtime.SchedStats(); st.Tasks() >= affinityFeedbackMinTasks {
-			// Clamp away from ForAffinity's 0-means-unknown sentinel: a
-			// measured warm rate of exactly 0 is the WORST schedule and
-			// must hit the cold floor, not read as "no data".
+		// Clamp away from ForAffinity's 0-means-unknown sentinel: a
+		// measured warm rate of exactly 0 is the WORST schedule and
+		// must hit the cold floor, not read as "no data".
+		if win := c.Runtime.SchedStatsWindow(); win.Windows > 0 {
+			m = m.ForAffinity(math.Max(win.WarmHitRate(), 1e-3))
+		} else if st := c.Runtime.SchedStats(); st.Tasks() >= affinityFeedbackMinTasks {
 			m = m.ForAffinity(math.Max(st.WarmHitRate(), 1e-3))
 		}
 	}
@@ -147,9 +156,23 @@ func (c Config) pipelineFor(joinInput int, affinitySeed uint64, plan func() int)
 		if affinitySeed != 0 {
 			pl.SetAffinitySeed(affinitySeed)
 		}
+		c.observe(pl)
 		return pl
 	}
-	return exec.NewPipeline(w)
+	pl := exec.NewPipeline(w)
+	c.observe(pl)
+	return pl
+}
+
+// observe attaches the config's trace buffer and pprof query tag to a
+// freshly built pipeline.
+func (c Config) observe(pl *exec.Pipeline) {
+	if c.Trace != nil {
+		pl.SetTrace(c.Trace)
+	}
+	if c.QueryTag != "" {
+		pl.SetQueryTag(c.QueryTag)
+	}
 }
 
 // phasesFromTimings maps the pipeline's per-kind buckets onto the

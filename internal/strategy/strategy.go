@@ -37,6 +37,7 @@ import (
 	"radixdecluster/internal/exec"
 	"radixdecluster/internal/join"
 	"radixdecluster/internal/mem"
+	"radixdecluster/internal/obs"
 	"radixdecluster/internal/radix"
 )
 
@@ -104,6 +105,15 @@ type Config struct {
 	// involve the runtime. The result bytes are identical in all three
 	// modes.
 	Runtime *exec.Runtime
+	// Trace, when set, collects this run's span events (per-phase
+	// spans with queue waits and morsel counts, per-morsel worker
+	// spans with steal distances, shared-scan hits) into the given
+	// buffer; export it with obs.WriteChrome. Tracing never changes
+	// the result bytes. Nil — the default — costs nothing.
+	Trace *obs.Trace
+	// QueryTag names the query for pprof goroutine labels (e.g. the
+	// strategy name) on runtimes built with PprofLabels.
+	QueryTag string
 }
 
 func (c Config) hier() mem.Hierarchy {

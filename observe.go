@@ -1,0 +1,80 @@
+package radixdecluster
+
+// Public observability surface: per-query execution traces
+// (JoinQuery.Trace → Result.Trace, exported as Chrome trace-event
+// JSON for Perfetto), and the windowed scheduler statistics the
+// planner's affinity feedback runs on (Runtime.SchedStatsWindow).
+// The Prometheus-style metrics endpoint lives on the Runtime
+// (RuntimeConfig.MetricsAddr, runtime.go).
+
+import (
+	"fmt"
+	"io"
+
+	"radixdecluster/internal/obs"
+)
+
+// Trace is one query's recorded span events: per-phase spans (with
+// queue waits, morsel counts and shared-scan hits), per-morsel worker
+// spans (with steal distances), and an admission span when the query
+// waited for admission control. Obtain one by setting JoinQuery.Trace;
+// render it with WriteJSON or merge several queries' traces into one
+// timeline with WriteTraces. Tracing never changes result bytes.
+type Trace struct {
+	t *obs.Trace
+}
+
+// Label returns the trace's query label (strategy and relation names).
+func (t *Trace) Label() string { return t.t.Label() }
+
+// Spans returns the number of recorded events.
+func (t *Trace) Spans() int { return t.t.Len() }
+
+// WriteJSON renders the trace as a Chrome trace-event JSON document,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (t *Trace) WriteJSON(w io.Writer) error { return obs.WriteChrome(w, t.t) }
+
+// WriteTraces merges several queries' traces into one Chrome
+// trace-event JSON document: each trace renders as its own process
+// track (titled with its label), so concurrent queries line up on one
+// wall-clock timeline.
+func WriteTraces(w io.Writer, traces ...*Trace) error {
+	ts := make([]*obs.Trace, 0, len(traces))
+	for _, t := range traces {
+		if t != nil {
+			ts = append(ts, t.t)
+		}
+	}
+	return obs.WriteChrome(w, ts...)
+}
+
+// SchedWindow is the runtime scheduler's windowed statistics: counter
+// deltas over the most recent fixed-size morsel interval, and EWMA
+// rates folded across intervals. Unlike the lifetime SchedStats
+// averages — which smear regime shifts (an admission-mix change, a
+// steal-policy switch) across the runtime's whole history — the
+// windowed rates track the CURRENT scheduling regime, which is why
+// the planner's affinity feedback consumes them.
+type SchedWindow struct {
+	// Last is the counter delta over the most recent completed window.
+	Last SchedStats
+	// WarmEWMA / LocalEWMA are the exponentially weighted moving
+	// averages of the per-window warm- and local-hit rates.
+	WarmEWMA  float64
+	LocalEWMA float64
+	// Windows is the number of completed windows (0 = no signal yet;
+	// consumers should fall back to lifetime stats).
+	Windows int64
+}
+
+// WarmHitRate returns the windowed warm-hit rate — the planner's
+// affinity feedback signal.
+func (w SchedWindow) WarmHitRate() float64 { return w.WarmEWMA }
+
+// LocalHitRate returns the windowed local-hit rate.
+func (w SchedWindow) LocalHitRate() float64 { return w.LocalEWMA }
+
+func (w SchedWindow) String() string {
+	return fmt.Sprintf("warm=%.2f local=%.2f over %d windows (last %v)",
+		w.WarmEWMA, w.LocalEWMA, w.Windows, w.Last)
+}

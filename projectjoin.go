@@ -7,6 +7,7 @@ import (
 	"radixdecluster/internal/core"
 	"radixdecluster/internal/costmodel"
 	"radixdecluster/internal/join"
+	"radixdecluster/internal/obs"
 	"radixdecluster/internal/radix"
 	"radixdecluster/internal/strategy"
 )
@@ -124,6 +125,13 @@ type JoinQuery struct {
 	// automatically share a single worker pool under admission
 	// control. Serial runs (Parallelism 0) never involve a runtime.
 	Runtime *Runtime
+	// Trace records this query's execution as span events — per-phase
+	// spans with queue waits and morsel counts, per-morsel worker
+	// spans with steal distances, admission waits, shared-scan hits —
+	// returned in Result.Trace for export as Chrome trace-event JSON
+	// (Perfetto). Tracing never changes the result bytes; off (the
+	// default) it costs nothing.
+	Trace bool
 	// Hier drives all planning (zero value: the paper's Pentium 4).
 	Hier Hierarchy
 }
@@ -172,6 +180,10 @@ type Result struct {
 	// paper's serial mode, n >= 1 = the morsel-driven executor with n
 	// workers.
 	Workers int
+	// Trace holds the query's recorded span events when
+	// JoinQuery.Trace was set (nil otherwise); render it with
+	// Trace.WriteJSON or merge several with WriteTraces.
+	Trace   *Trace
 	runInfo *strategy.Result
 }
 
@@ -204,6 +216,13 @@ func ProjectJoin(q JoinQuery) (*Result, error) {
 	if st == AutoStrategy {
 		st = DSMPostDecluster
 	}
+	// The strategy name doubles as the pprof query tag; the trace
+	// label adds the relation names so Perfetto titles each query's
+	// process track recognizably.
+	cfg.QueryTag = st.String()
+	if q.Trace {
+		cfg.Trace = obs.NewTrace(fmt.Sprintf("%s %s⋈%s", st, q.Larger.Name, q.Smaller.Name))
+	}
 	switch st {
 	case DSMPostDecluster, DSMPre:
 		l, err := dsmSide(q.Larger, q.LargerKey, q.LargerProject)
@@ -223,7 +242,7 @@ func ProjectJoin(q JoinQuery) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return buildResult(q, res)
+		return buildResult(q, res, cfg.Trace)
 	case NSMPreHash, NSMPrePhash, NSMPostDecluster, NSMPostJive:
 		l, err := nsmSide(q.Larger, q.LargerKey, q.LargerProject)
 		if err != nil {
@@ -247,7 +266,7 @@ func ProjectJoin(q JoinQuery) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return buildResult(q, res)
+		return buildResult(q, res, cfg.Trace)
 	}
 	return nil, fmt.Errorf("radixdecluster: unknown strategy %v", q.Strategy)
 }
@@ -303,7 +322,7 @@ func nsmSide(r *Relation, key string, proj []string) (strategy.NSMSide, error) {
 	return strategy.NSMSide{Rel: rel, KeyCol: keyIdx, ProjCols: projIdx}, nil
 }
 
-func buildResult(q JoinQuery, res *strategy.Result) (*Result, error) {
+func buildResult(q JoinQuery, res *strategy.Result, tr *obs.Trace) (*Result, error) {
 	out := &Result{
 		N:       res.N,
 		Workers: res.Workers,
@@ -343,6 +362,9 @@ func buildResult(q JoinQuery, res *strategy.Result) (*Result, error) {
 	}
 	if len(out.Cols) != len(out.Names) {
 		return nil, fmt.Errorf("radixdecluster: internal: %d result columns for %d names", len(out.Cols), len(out.Names))
+	}
+	if tr != nil {
+		out.Trace = &Trace{t: tr}
 	}
 	return out, nil
 }

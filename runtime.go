@@ -7,6 +7,7 @@ import (
 
 	"radixdecluster/internal/costmodel"
 	"radixdecluster/internal/exec"
+	"radixdecluster/internal/obs"
 )
 
 // RuntimeConfig configures a Runtime.
@@ -51,6 +52,21 @@ type RuntimeConfig struct {
 	// Hier drives the adaptive admission derivation (zero value: the
 	// paper's Pentium 4, like every other planning default).
 	Hier Hierarchy
+	// MetricsAddr, when non-empty, serves the runtime's Prometheus-
+	// style metrics on an HTTP listener at this address ("/metrics",
+	// text exposition) along with the Go pprof handlers
+	// ("/debug/pprof/"). Use ":0" to let the kernel pick a port and
+	// read it back with Runtime.MetricsAddr. The metric series are
+	// almost entirely pull-based — closures over counters the runtime
+	// maintains regardless — so serving metrics costs nothing on the
+	// morsel hot path. A failed listen is recorded in
+	// Runtime.MetricsError, not fatal: the runtime still executes.
+	MetricsAddr string
+	// PprofLabels attaches pprof goroutine labels (query, phase,
+	// worker) to every morsel a runtime worker executes, so CPU
+	// profiles of a busy runtime break down by query and phase. Off by
+	// default: labeling costs two label-set swaps per morsel.
+	PprofLabels bool
 }
 
 // StealPolicy selects the runtime's work-stealing behaviour (see
@@ -122,6 +138,22 @@ func (s SchedStats) WarmHitRate() float64 {
 	return 0
 }
 
+// Sub returns the counter deltas s − prev. Snapshot SchedStats before
+// a run and subtract after to isolate that run's scheduling outcome
+// from the runtime's lifetime counters.
+func (s SchedStats) Sub(prev SchedStats) SchedStats {
+	return SchedStats{
+		LocalHits:     s.LocalHits - prev.LocalHits,
+		StealsSibling: s.StealsSibling - prev.StealsSibling,
+		StealsShared:  s.StealsShared - prev.StealsShared,
+		StealsRemote:  s.StealsRemote - prev.StealsRemote,
+	}
+}
+
+func (s SchedStats) String() string {
+	return fmt.Sprintf("local=%d sib=%d shared=%d remote=%d", s.LocalHits, s.StealsSibling, s.StealsShared, s.StealsRemote)
+}
+
 func schedFromExec(s exec.SchedStats) SchedStats {
 	return SchedStats{
 		LocalHits:     s.LocalHits,
@@ -145,6 +177,11 @@ func schedFromExec(s exec.SchedStats) SchedStats {
 // across serial, per-query-pool and shared-runtime execution.
 type Runtime struct {
 	rt *exec.Runtime
+	// metricsSrv is the HTTP listener serving /metrics and
+	// /debug/pprof when RuntimeConfig.MetricsAddr was set; metricsErr
+	// records a failed listen.
+	metricsSrv *obs.Server
+	metricsErr error
 }
 
 // NewRuntime creates a runtime. Most programs never call this — the
@@ -162,11 +199,30 @@ func NewRuntime(cfg RuntimeConfig) *Runtime {
 	if admit <= 0 {
 		admit = costmodel.AdaptiveAdmission(cfg.Hier.internal(), workers)
 	}
-	return &Runtime{rt: exec.NewRuntimeOpts(exec.Options{
+	r := &Runtime{rt: exec.NewRuntimeOpts(exec.Options{
 		Workers: workers, MaxConcurrent: admit, ShareScans: cfg.ShareScans,
 		Steal: exec.StealPolicy(cfg.StealPolicy), PinWorkers: cfg.PinWorkers,
+		Metrics: cfg.MetricsAddr != "", PprofLabels: cfg.PprofLabels,
 	})}
+	if cfg.MetricsAddr != "" {
+		r.metricsSrv, r.metricsErr = obs.Serve(cfg.MetricsAddr, r.rt.MetricsRegistry())
+	}
+	return r
 }
+
+// MetricsAddr returns the bound address of the runtime's metrics
+// listener ("" when RuntimeConfig.MetricsAddr was unset or the listen
+// failed) — with ":0" configured, this is where the kernel put it.
+func (r *Runtime) MetricsAddr() string {
+	if r.metricsSrv == nil {
+		return ""
+	}
+	return r.metricsSrv.Addr()
+}
+
+// MetricsError returns the error from binding the metrics listener,
+// nil when it bound (or was never requested).
+func (r *Runtime) MetricsError() error { return r.metricsErr }
 
 // Workers returns the shared pool size.
 func (r *Runtime) Workers() int { return r.rt.Workers() }
@@ -202,16 +258,36 @@ func (r *Runtime) StealPolicy() StealPolicy { return StealPolicy(r.rt.Steal()) }
 // worker (warm private caches) versus steals by topology distance.
 func (r *Runtime) SchedStats() SchedStats { return schedFromExec(r.rt.SchedStats()) }
 
+// SchedStatsWindow returns the scheduler's windowed statistics: the
+// counter delta over the most recent fixed-size morsel interval and
+// EWMA hit rates across intervals. This is the signal the planner's
+// affinity feedback consumes — it tracks the current scheduling
+// regime where the lifetime averages of SchedStats smear history.
+func (r *Runtime) SchedStatsWindow() SchedWindow {
+	w := r.rt.SchedStatsWindow()
+	return SchedWindow{
+		Last:      schedFromExec(w.Last),
+		WarmEWMA:  w.WarmEWMA,
+		LocalEWMA: w.LocalEWMA,
+		Windows:   w.Windows,
+	}
+}
+
 // PinnedWorkers returns how many runtime workers successfully pinned
 // their OS thread to a core (0 unless RuntimeConfig.PinWorkers was
 // set; possibly fewer than Workers when the kernel refuses pins, e.g.
 // in a restricted container).
 func (r *Runtime) PinnedWorkers() int { return r.rt.PinnedWorkers() }
 
-// Close stops the runtime's workers. The runtime must be idle (no
-// executing or admission-waiting queries). The process default
-// runtime is never closed.
-func (r *Runtime) Close() { r.rt.Close() }
+// Close stops the runtime's workers and its metrics listener, if any.
+// The runtime must be idle (no executing or admission-waiting
+// queries). The process default runtime is never closed.
+func (r *Runtime) Close() {
+	if r.metricsSrv != nil {
+		r.metricsSrv.Close()
+	}
+	r.rt.Close()
+}
 
 var (
 	defaultRuntimeOnce sync.Once
