@@ -237,6 +237,10 @@ func BenchmarkPosJoinClustered(b *testing.B) {
 // column per side for the end-to-end ProjectJoin benchmarks and the
 // speedup test.
 func benchJoinQuery(tb testing.TB, n int) JoinQuery {
+	return benchJoinQueryOpts(tb, n)
+}
+
+func benchJoinQueryOpts(tb testing.TB, n int, opts ...RelationOption) JoinQuery {
 	tb.Helper()
 	rng := rand.New(rand.NewPCG(4, 4))
 	keys := make([]int32, n)
@@ -251,7 +255,8 @@ func benchJoinQuery(tb testing.TB, n int) JoinQuery {
 	mk := func(name string) *Relation {
 		k := make([]int32, n)
 		copy(k, keys)
-		r, err := NewRelation(name, Column{Name: "key", Values: k}, Column{Name: "a", Values: payload})
+		r, err := NewRelationOpts(name,
+			[]Column{{Name: "key", Values: k}, {Name: "a", Values: payload}}, opts...)
 		if err != nil {
 			tb.Fatal(err)
 		}
@@ -362,6 +367,49 @@ func BenchmarkConcurrentProjectJoin(b *testing.B) {
 			defer rt.Close()
 			q.Runtime = rt
 			// Build the cached NSM images outside the timer.
+			if _, err := ProjectJoin(q); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(queries) * n * 8)
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			b.ReportMetric(float64(runtime.NumCPU()), "cpus")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for j := 0; j < queries; j++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						if _, err := ProjectJoin(q); err != nil {
+							b.Error(err)
+						}
+					}()
+				}
+				wg.Wait()
+			}
+		})
+	}
+	// compress=false/compress=true is the compressed-execution
+	// acceptance pair: the same 4-query concurrent load with
+	// CompressionAuto over block-compressed relations must be no worse
+	// than the raw leg. New legs only — the share= names above are the
+	// archived trajectory baseline and keep their identity.
+	for _, comp := range []bool{false, true} {
+		b.Run(fmt.Sprintf("compress=%v", comp), func(b *testing.B) {
+			var opts []RelationOption
+			if comp {
+				opts = append(opts, WithCompression())
+			}
+			q := benchJoinQueryOpts(b, n, opts...)
+			q.Strategy = NSMPostDecluster
+			q.Parallelism = 2
+			if comp {
+				q.Compression = CompressionAuto
+			}
+			rt := NewRuntime(RuntimeConfig{MaxConcurrentQueries: queries})
+			defer rt.Close()
+			q.Runtime = rt
+			// Build the cached NSM and compressed images outside the timer.
 			if _, err := ProjectJoin(q); err != nil {
 				b.Fatal(err)
 			}

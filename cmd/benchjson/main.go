@@ -162,8 +162,8 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr,
 			"benchjson: VERDICT: gate SKIPPED (no baseline record for %d cores, have [%s] — wall-clock "+
-				"only compares within a core count; commit this runner's %s into the %s array to arm the gate)\n",
-			rep.Cores, strings.Join(have, " "), *out, *baseline)
+				"only compares within a core count; reseed: %s)\n",
+			rep.Cores, strings.Join(have, " "), reseedCmd(*out, *baseline))
 		return
 	}
 	var names []string
@@ -203,11 +203,19 @@ func main() {
 		// gated, and calling that PASSED would resurrect the silent
 		// dead gate the verdict line exists to kill.
 		fmt.Fprintf(os.Stderr, "benchjson: VERDICT: gate SKIPPED (the %d-core baseline record shares no benchmark names "+
-			"with this run — reseed it from this runner's %s)\n", base.Cores, *out)
+			"with this run — reseed: %s)\n", base.Cores, reseedCmd(*out, *baseline))
 		return
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: VERDICT: gate PASSED (%d of %d benchmarks compared, all within %.0f%% of the %d-core baseline)\n",
 		compared, len(names), *maxRegress*100, base.Cores)
+}
+
+// reseedCmd renders the copy-pasteable one-liner that installs this
+// run's record into the baseline array — replacing any record with the
+// same core count — arming the gate for this runner shape.
+func reseedCmd(out, baseline string) string {
+	return fmt.Sprintf("jq --slurpfile new %[1]s '[.[] | select(.cores != $new[0].cores)] + $new' %[2]s > %[2]s.tmp && mv %[2]s.tmp %[2]s",
+		out, baseline)
 }
 
 // readBaseline parses a baseline file: a JSON array of per-machine

@@ -27,6 +27,15 @@
 // local-hit rate of at least R — the CI assertions that
 // partition-affine placement genuinely engaged.
 //
+// Compression flags: -compress auto|for|delta block-compresses the
+// input columns (auto picks the best scheme per column; for/delta pin
+// one) and executes the pipelines over the encoded bytes — results
+// are byte-identical to raw runs — printing each column's scheme and
+// compression ratio up front and the decode-time share of the run at
+// the end; -mincompressed N exits non-zero unless the run consumed at
+// least N compressed column inputs — the CI assertion that compressed
+// execution genuinely engaged.
+//
 // Observability flags: -traceout FILE records every query's execution
 // as span events and writes one merged Chrome trace-event JSON
 // document, loadable in Perfetto (ui.perfetto.dev); -metricsaddr ADDR
@@ -49,6 +58,7 @@ import (
 	"sync"
 	"time"
 
+	"radixdecluster/internal/compress"
 	"radixdecluster/internal/costmodel"
 	"radixdecluster/internal/exec"
 	"radixdecluster/internal/mem"
@@ -65,6 +75,8 @@ func main() {
 	strat := flag.String("strategy", "dsm-post", "dsm-post | dsm-pre | nsm-pre-hash | nsm-pre-phash | nsm-post-decluster | nsm-post-jive")
 	lm := flag.String("lm", "", "larger-side method for dsm-post: u, s or c (empty = auto)")
 	sm := flag.String("sm", "", "smaller-side method for dsm-post: u or d (empty = auto)")
+	compressFlag := flag.String("compress", "off", "execution format: off (raw) | auto (block-compress each column with the best scheme) | for | delta (pin the scheme); results are byte-identical either way")
+	minCompressed := flag.Int("mincompressed", 0, "fail (exit 1) unless the run consumes at least this many compressed column inputs")
 	parallel := flag.Int("parallel", 0, "workers for the morsel-driven executor (all strategies): 0 = serial paper mode, -1 = planner decides per strategy")
 	concurrency := flag.Int("concurrency", 1, "queries to fire at once against the shared runtime (1 = single query)")
 	maxConcurrent := flag.Int("admit", 0, "admission bound of the shared runtime (0 = adaptive: derived from the calibrated bus-stream budget and the LLC share)")
@@ -95,8 +107,32 @@ func main() {
 	fmt.Printf("N=%d pi=%d h=%g sel=%g -> expecting %d result tuples\n",
 		*n, *pi, *hitRate, *sel, pr.ExpectedMatches)
 
+	// Build the strategy inputs once — every concurrent query shares
+	// them (and the workload's memoized projection columns and NSM
+	// image behind them).
+	sd, err := buildSides(*strat, pr, *pi, *sel)
+	if err != nil {
+		fail(err)
+	}
+	encFn, err := encoderFor(*compressFlag)
+	if err != nil {
+		fail(err)
+	}
+	if *minCompressed > 0 && encFn == nil {
+		fail(fmt.Errorf("-mincompressed requires -compress auto|for|delta"))
+	}
+	if encFn != nil {
+		if err := sd.encode(encFn); err != nil {
+			fail(err)
+		}
+		sd.report()
+	}
+
 	runOnce := func(cfg strategy.Config) (*strategy.Result, error) {
-		return runStrategy(*strat, pr, *pi, *sel, *lm, *sm, cfg)
+		if encFn != nil {
+			cfg.Compress = strategy.CompressOn
+		}
+		return runStrategy(*strat, sd, *lm, *sm, cfg)
 	}
 
 	steal, err := exec.ParseStealPolicy(*stealFlag)
@@ -140,8 +176,14 @@ func main() {
 		fmt.Printf("plan: joinbits=%d largerbits=%d smallerbits=%d window=%d methods=%v/%v workers=%d\n",
 			res.JoinBits, res.LargerBits, res.SmallerBits, res.Window, res.LargerMethod, res.SmallerMethod, res.Workers)
 		fmt.Printf("phases: %s\n", res.Phases)
+		if encFn != nil {
+			fmt.Printf("compressed: %s\n", compLine(res.Phases.Comp, res.Phases.Total))
+		}
 		if *traceOut != "" {
 			writeTraces(*traceOut, *minSpans, tr)
+		}
+		if res.Phases.Comp.Cols < int64(*minCompressed) {
+			fail(fmt.Errorf("compressed column inputs %d below required -mincompressed %d", res.Phases.Comp.Cols, *minCompressed))
 		}
 		return
 	}
@@ -152,18 +194,6 @@ func main() {
 	par := *parallel
 	if par == 0 {
 		par = strategy.AutoParallelism
-	}
-
-	// Materialize the workload's lazily-built images up front: the
-	// pair memoizes its projection columns and NSM image without
-	// synchronization, and the concurrent queries below share it.
-	switch *strat {
-	case "dsm-post", "dsm-pre":
-		pr.Larger.ProjCols(*pi)
-		pr.Smaller.ProjCols(*pi)
-	default:
-		pr.Larger.NSM()
-		pr.Smaller.NSM()
 	}
 
 	var seqElapsed time.Duration
@@ -260,6 +290,13 @@ func main() {
 	agg := float64(total) / wall.Seconds()
 	fmt.Printf("concurrent: %d queries on the shared runtime in %v (%.0f tuples/s aggregate, %d shared-scan hits)\n",
 		*concurrency, wall.Round(time.Millisecond), agg, rt.SharedScanHits())
+	var comp exec.CompStats
+	for _, o := range outs {
+		comp = comp.Add(o.res.Phases.Comp)
+	}
+	if encFn != nil {
+		fmt.Printf("compressed: %s\n", compLine(comp, wall))
+	}
 	if *baseline && wall > 0 {
 		fmt.Printf("speedup over sequential per-query pools: %.2fx\n",
 			seqElapsed.Seconds()/wall.Seconds())
@@ -276,6 +313,9 @@ func main() {
 	}
 	if metricsSrv != nil {
 		scrapeMetrics(metricsSrv.Addr(), *minCounters)
+	}
+	if comp.Cols < int64(*minCompressed) {
+		fail(fmt.Errorf("compressed column inputs %d below required -mincompressed %d", comp.Cols, *minCompressed))
 	}
 	if hits := rt.SharedScanHits(); hits < int64(*minShared) {
 		fail(fmt.Errorf("shared-scan hits %d below required -minshared %d", hits, *minShared))
@@ -335,19 +375,23 @@ func scrapeMetrics(addr string, minCounters int) {
 	}
 }
 
-// runStrategy executes one query with the named strategy on cfg's
-// engine (shared runtime or per-query pool).
-func runStrategy(strat string, pr *workload.Pair, pi int, sel float64, lm, sm string, cfg strategy.Config) (*strategy.Result, error) {
+// sides holds the query's strategy inputs, built once and shared by
+// every concurrent run.
+type sides struct {
+	dsm    bool
+	l, s   strategy.DSMSide
+	nl, ns strategy.NSMSide
+}
+
+func buildSides(strat string, pr *workload.Pair, pi int, sel float64) (*sides, error) {
 	switch strat {
 	case "dsm-post", "dsm-pre":
-		l := strategy.DSMSide{OIDs: pr.Larger.SelOIDs, Keys: pr.Larger.SelKeys,
-			Cols: pr.Larger.ProjCols(pi), BaseN: pr.Larger.BaseN}
-		s := strategy.DSMSide{OIDs: pr.Smaller.SelOIDs, Keys: pr.Smaller.SelKeys,
-			Cols: pr.Smaller.ProjCols(pi), BaseN: pr.Smaller.BaseN}
-		if strat == "dsm-pre" {
-			return strategy.DSMPre(l, s, cfg)
-		}
-		return strategy.DSMPost(l, s, method(lm), method(sm), cfg)
+		return &sides{dsm: true,
+			l: strategy.DSMSide{OIDs: pr.Larger.SelOIDs, Keys: pr.Larger.SelKeys,
+				Cols: pr.Larger.ProjCols(pi), BaseN: pr.Larger.BaseN},
+			s: strategy.DSMSide{OIDs: pr.Smaller.SelOIDs, Keys: pr.Smaller.SelKeys,
+				Cols: pr.Smaller.ProjCols(pi), BaseN: pr.Smaller.BaseN},
+		}, nil
 	case "nsm-pre-hash", "nsm-pre-phash", "nsm-post-decluster", "nsm-post-jive":
 		if sel != 1 {
 			return nil, fmt.Errorf("NSM strategies join whole base tables; use -sel 1")
@@ -356,20 +400,103 @@ func runStrategy(strat string, pr *workload.Pair, pi int, sel float64, lm, sm st
 		for i := range cols {
 			cols[i] = i + 1
 		}
-		nl := strategy.NSMSide{Rel: pr.Larger.NSM(), KeyCol: 0, ProjCols: cols}
-		ns := strategy.NSMSide{Rel: pr.Smaller.NSM(), KeyCol: 0, ProjCols: cols}
-		switch strat {
-		case "nsm-pre-hash":
-			return strategy.NSMPre(nl, ns, false, cfg)
-		case "nsm-pre-phash":
-			return strategy.NSMPre(nl, ns, true, cfg)
-		case "nsm-post-decluster":
-			return strategy.NSMPostDecluster(nl, ns, cfg)
-		default:
-			return strategy.NSMPostJive(nl, ns, 0, cfg)
-		}
+		return &sides{
+			nl: strategy.NSMSide{Rel: pr.Larger.NSM(), KeyCol: 0, ProjCols: cols},
+			ns: strategy.NSMSide{Rel: pr.Smaller.NSM(), KeyCol: 0, ProjCols: cols},
+		}, nil
 	}
 	return nil, fmt.Errorf("unknown strategy %q", strat)
+}
+
+// encode builds the sides' block-compressed images with the chosen
+// encoder (columns it cannot shrink stay raw-only).
+func (sd *sides) encode(enc func([]int32) (*compress.Encoded, error)) error {
+	if sd.dsm {
+		if err := sd.l.Encode(enc); err != nil {
+			return err
+		}
+		return sd.s.Encode(enc)
+	}
+	if err := sd.nl.Encode(enc); err != nil {
+		return err
+	}
+	return sd.ns.Encode(enc)
+}
+
+// report prints each column's scheme and compression ratio.
+func (sd *sides) report() {
+	if sd.dsm {
+		reportDSM("larger", sd.l)
+		reportDSM("smaller", sd.s)
+		return
+	}
+	reportEnc("larger.records", sd.nl.Enc)
+	reportEnc("smaller.records", sd.ns.Enc)
+}
+
+func reportDSM(name string, s strategy.DSMSide) {
+	reportEnc(name+".key", s.KeysEnc)
+	for i, e := range s.ColsEnc {
+		reportEnc(fmt.Sprintf("%s.a%d", name, i+1), e)
+	}
+}
+
+func reportEnc(name string, e *compress.Encoded) {
+	if e == nil {
+		fmt.Printf("compress: %-16s raw (incompressible)\n", name)
+		return
+	}
+	fmt.Printf("compress: %-16s scheme=%s ratio=%.3f (%d -> %d bytes)\n",
+		name, e.Scheme(), e.Ratio(), e.RawBytes(), e.CompressedBytes())
+}
+
+// encoderFor maps the -compress flag to a column encoder (nil = raw
+// execution).
+func encoderFor(mode string) (func([]int32) (*compress.Encoded, error), error) {
+	switch mode {
+	case "off":
+		return nil, nil
+	case "auto":
+		return compress.EncodeBest, nil
+	case "for":
+		return func(v []int32) (*compress.Encoded, error) { return compress.EncodeColumn(v, compress.FOR) }, nil
+	case "delta":
+		return func(v []int32) (*compress.Encoded, error) { return compress.EncodeColumn(v, compress.DeltaFOR) }, nil
+	}
+	return nil, fmt.Errorf("unknown -compress mode %q (want off, auto, for or delta)", mode)
+}
+
+// compLine renders a run's compressed-execution counters with the
+// decode share of its wall time.
+func compLine(c exec.CompStats, total time.Duration) string {
+	share := 0.0
+	if total > 0 {
+		share = 100 * float64(c.DecodeNanos) / float64(total)
+	}
+	return fmt.Sprintf("cols=%d read=%dB saved=%dB decode=%v (%.1f%% of run)",
+		c.Cols, c.CompressedBytes, c.SavedBytes,
+		time.Duration(c.DecodeNanos).Round(time.Microsecond), share)
+}
+
+// runStrategy executes one query with the named strategy on cfg's
+// engine (shared runtime or per-query pool).
+func runStrategy(strat string, sd *sides, lm, sm string, cfg strategy.Config) (*strategy.Result, error) {
+	if sd.dsm {
+		if strat == "dsm-pre" {
+			return strategy.DSMPre(sd.l, sd.s, cfg)
+		}
+		return strategy.DSMPost(sd.l, sd.s, method(lm), method(sm), cfg)
+	}
+	switch strat {
+	case "nsm-pre-hash":
+		return strategy.NSMPre(sd.nl, sd.ns, false, cfg)
+	case "nsm-pre-phash":
+		return strategy.NSMPre(sd.nl, sd.ns, true, cfg)
+	case "nsm-post-decluster":
+		return strategy.NSMPostDecluster(sd.nl, sd.ns, cfg)
+	default:
+		return strategy.NSMPostJive(sd.nl, sd.ns, 0, cfg)
+	}
 }
 
 func method(s string) strategy.ProjMethod {

@@ -13,8 +13,11 @@ package calibrator
 
 import (
 	"fmt"
+	"math"
+	"time"
 
 	"radixdecluster/internal/cachesim"
+	"radixdecluster/internal/compress"
 	"radixdecluster/internal/mem"
 )
 
@@ -260,4 +263,49 @@ func (r *Result) Hierarchy(pageSize int) mem.Hierarchy {
 		})
 	}
 	return mem.Hierarchy{Levels: levels, ClockGHz: 1}
+}
+
+// DecodeNanos measures the per-value CPU cost of block decompression
+// for the given scheme — the compression analogue of MemStreams'
+// bus-budget probe. Decompression is pure CPU work (the branch-light
+// bit-unpack loops of internal/compress), so unlike the cache-simulator
+// probes above this times real decodes: a synthetic clustered column is
+// encoded once, then decoded block-by-block into a reused scratch
+// buffer, and the best of several passes is taken to shed scheduler
+// noise. The result feeds the cost model's compression term (CPU grows
+// by n×DecodeNanos while bytes-moved shrink by the measured ratio).
+func DecodeNanos(s compress.Scheme) (float64, error) {
+	const blocks = 64
+	vals := make([]int32, blocks*compress.BlockSize)
+	v := int32(0)
+	for i := range vals {
+		v += int32(i % 7) // mildly increasing: the clustered-column shape
+		vals[i] = v
+	}
+	enc, err := compress.EncodeColumn(vals, s)
+	if err != nil {
+		return 0, err
+	}
+	dst := make([]int32, compress.BlockSize)
+	best := math.MaxFloat64
+	for rep := 0; rep < 4; rep++ { // first pass doubles as warm-up
+		t0 := time.Now()
+		for b := 0; b < enc.BlockCount(); b++ {
+			if _, err := enc.DecompressBlockInto(dst, b); err != nil {
+				return 0, err
+			}
+		}
+		if ns := float64(time.Since(t0).Nanoseconds()) / float64(len(vals)); rep > 0 && ns < best {
+			best = ns
+		}
+	}
+	// Clamp to sane bounds: timer glitches must not make the planner
+	// believe decodes are free or catastrophically expensive.
+	if best < 0.05 {
+		best = 0.05
+	}
+	if best > 50 {
+		best = 50
+	}
+	return best, nil
 }

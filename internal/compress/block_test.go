@@ -1,0 +1,206 @@
+package compress
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func testColumn(n int, r *rand.Rand) []int32 {
+	vals := make([]int32, n)
+	v := int32(r.Intn(1000))
+	for i := range vals {
+		v += int32(r.Intn(37))
+		vals[i] = v
+	}
+	return vals
+}
+
+func TestEncodeColumnRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, scheme := range []Scheme{FOR, DeltaFOR} {
+		for _, n := range []int{0, 1, BlockSize - 1, BlockSize, BlockSize + 1, 3*BlockSize + 17} {
+			vals := testColumn(n, r)
+			e, err := EncodeColumn(vals, scheme)
+			if err != nil {
+				t.Fatalf("scheme %d n %d: %v", scheme, n, err)
+			}
+			if e.Len() != n {
+				t.Fatalf("Len = %d, want %d", e.Len(), n)
+			}
+			wantBlocks := (n + BlockSize - 1) / BlockSize
+			if e.BlockCount() != wantBlocks {
+				t.Fatalf("BlockCount = %d, want %d", e.BlockCount(), wantBlocks)
+			}
+			got := make([]int32, n)
+			if err := e.DecompressRangeInto(got, 0, n); err != nil {
+				t.Fatal(err)
+			}
+			for i := range vals {
+				if got[i] != vals[i] {
+					t.Fatalf("scheme %d n %d value %d: %d != %d", scheme, n, i, got[i], vals[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDecompressBlockInto(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	vals := testColumn(2*BlockSize+100, r)
+	for _, scheme := range []Scheme{FOR, DeltaFOR} {
+		e, err := EncodeColumn(vals, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]int32, BlockSize)
+		for b := 0; b < e.BlockCount(); b++ {
+			// Prefill with garbage: the decoder must never read dst,
+			// so stale scratch contents cannot leak into the output.
+			for i := range dst {
+				dst[i] = -0x5a5a5a5
+			}
+			n, err := e.DecompressBlockInto(dst, b)
+			if err != nil {
+				t.Fatalf("block %d: %v", b, err)
+			}
+			if n != e.BlockLen(b) {
+				t.Fatalf("block %d: decoded %d values, want %d", b, n, e.BlockLen(b))
+			}
+			for i := 0; i < n; i++ {
+				if dst[i] != vals[b*BlockSize+i] {
+					t.Fatalf("block %d value %d: %d != %d", b, i, dst[i], vals[b*BlockSize+i])
+				}
+			}
+		}
+	}
+}
+
+func TestDecompressBlockIntoErrors(t *testing.T) {
+	vals := testColumn(BlockSize+10, rand.New(rand.NewSource(3)))
+	e, err := EncodeColumn(vals, FOR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.DecompressBlockInto(make([]int32, BlockSize), -1); err == nil {
+		t.Fatal("negative block index: want error")
+	}
+	if _, err := e.DecompressBlockInto(make([]int32, BlockSize), e.BlockCount()); err == nil {
+		t.Fatal("block index past end: want error")
+	}
+	if _, err := e.DecompressBlockInto(make([]int32, BlockSize-1), 0); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("short dst: got %v, want ErrShortBuffer", err)
+	}
+	// The last block holds 10 values: a 10-value dst must suffice.
+	if n, err := e.DecompressBlockInto(make([]int32, 10), e.BlockCount()-1); err != nil || n != 10 {
+		t.Fatalf("exact-fit tail block: n=%d err=%v", n, err)
+	}
+	if err := e.DecompressRangeInto(make([]int32, 5), 0, 10); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("short range dst: got %v, want ErrShortBuffer", err)
+	}
+	if err := e.DecompressRangeInto(make([]int32, 20), BlockSize, BlockSize+20); err == nil {
+		t.Fatal("range past end: want error")
+	}
+}
+
+func TestDecompressRangeIntoUnaligned(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	vals := testColumn(4*BlockSize+33, r)
+	for _, scheme := range []Scheme{FOR, DeltaFOR} {
+		e, err := EncodeColumn(vals, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranges := [][2]int{
+			{0, 0}, {5, 5}, {0, 1}, {100, 900},
+			{BlockSize - 1, BlockSize + 1},
+			{BlockSize / 2, 3*BlockSize + 7},
+			{3 * BlockSize, len(vals)},
+			{len(vals) - 1, len(vals)},
+		}
+		for _, rg := range ranges {
+			lo, hi := rg[0], rg[1]
+			dst := make([]int32, hi-lo)
+			if err := e.DecompressRangeInto(dst, lo, hi); err != nil {
+				t.Fatalf("scheme %d range [%d,%d): %v", scheme, lo, hi, err)
+			}
+			for i := range dst {
+				if dst[i] != vals[lo+i] {
+					t.Fatalf("scheme %d range [%d,%d) value %d: %d != %d", scheme, lo, hi, i, dst[i], vals[lo+i])
+				}
+			}
+		}
+	}
+}
+
+func TestParseEncodedRejectsCorrupt(t *testing.T) {
+	good, err := Compress(testColumn(2*BlockSize, rand.New(rand.NewSource(5))), DeltaFOR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"truncated header":  good[:6],
+		"truncated payload": good[:len(good)-3],
+		"unknown scheme": func() []byte {
+			b := append([]byte(nil), good...)
+			b[0] = 9
+			return b
+		}(),
+		"width out of range": func() []byte {
+			b := append([]byte(nil), good...)
+			b[1] = 33
+			return b
+		}(),
+		"count out of range": func() []byte {
+			b := append([]byte(nil), good...)
+			b[2], b[3] = 0xff, 0xff
+			return b
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := ParseEncoded(data); err == nil {
+			t.Errorf("%s: ParseEncoded accepted corrupt stream", name)
+		}
+		if _, err := Decompress(data); err == nil {
+			t.Errorf("%s: Decompress accepted corrupt stream", name)
+		}
+	}
+	if _, err := ParseEncoded(good); err != nil {
+		t.Fatalf("valid stream rejected: %v", err)
+	}
+}
+
+func TestEncodedRatioMatchesRatio(t *testing.T) {
+	vals := testColumn(3*BlockSize, rand.New(rand.NewSource(23)))
+	for _, scheme := range []Scheme{FOR, DeltaFOR} {
+		e, err := EncodeColumn(vals, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Ratio(vals, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := e.Ratio(); got != want {
+			t.Fatalf("scheme %d: Encoded.Ratio %v != Ratio %v", scheme, got, want)
+		}
+	}
+}
+
+func TestEncodeBest(t *testing.T) {
+	// A sorted dense column: DeltaFOR should win by a wide margin.
+	vals := make([]int32, 4*BlockSize)
+	for i := range vals {
+		vals[i] = int32(i)
+	}
+	e, err := EncodeBest(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Scheme() != DeltaFOR {
+		t.Fatalf("dense oids: Best chose scheme %d, want DeltaFOR", e.Scheme())
+	}
+	if r := e.Ratio(); r > 0.2 {
+		t.Fatalf("dense oids: ratio %v, want well under 0.2", r)
+	}
+}

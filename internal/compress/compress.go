@@ -40,6 +40,17 @@ const (
 	DeltaFOR Scheme = 2
 )
 
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case FOR:
+		return "for"
+	case DeltaFOR:
+		return "delta"
+	}
+	return fmt.Sprintf("Scheme(%d)", byte(s))
+}
+
 // header layout per block:
 //
 //	byte 0:      scheme
@@ -69,48 +80,19 @@ func Compress(values []int32, scheme Scheme) ([]byte, error) {
 	return out, nil
 }
 
-// Decompress decodes a full column.
+// Decompress decodes a full column. Corrupt input (unknown scheme,
+// bit width > 32, block count > BlockSize, truncated header or
+// payload) returns an error, never panics.
 func Decompress(data []byte) ([]int32, error) {
 	var out []int32
+	var tmp [BlockSize]int32
 	for len(data) > 0 {
-		if len(data) < headerBytes {
-			return nil, fmt.Errorf("compress: truncated block header (%d bytes)", len(data))
+		n, consumed, err := decodeBlock(data, tmp[:])
+		if err != nil {
+			return nil, err
 		}
-		scheme := Scheme(data[0])
-		width := int(data[1])
-		n := int(binary.LittleEndian.Uint16(data[2:]))
-		ref := int32(binary.LittleEndian.Uint32(data[4:]))
-		first := int32(binary.LittleEndian.Uint32(data[8:]))
-		if width > 32 {
-			return nil, fmt.Errorf("compress: bit width %d", width)
-		}
-		packed := n
-		if scheme == DeltaFOR && n > 0 {
-			packed = n - 1
-		}
-		payload := (packed*width + 7) / 8
-		if len(data) < headerBytes+payload {
-			return nil, fmt.Errorf("compress: truncated block payload: need %d bytes, have %d", payload, len(data)-headerBytes)
-		}
-		body := data[headerBytes : headerBytes+payload]
-		switch scheme {
-		case FOR:
-			for i := 0; i < n; i++ {
-				out = append(out, ref+int32(readBits(body, i*width, width)))
-			}
-		case DeltaFOR:
-			if n > 0 {
-				prev := first
-				out = append(out, prev)
-				for i := 0; i < packed; i++ {
-					prev += ref + int32(readBits(body, i*width, width))
-					out = append(out, prev)
-				}
-			}
-		default:
-			return nil, fmt.Errorf("compress: unknown scheme %d in block", scheme)
-		}
-		data = data[headerBytes+payload:]
+		out = append(out, tmp[:n]...)
+		data = data[consumed:]
 	}
 	return out, nil
 }

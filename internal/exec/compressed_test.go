@@ -1,0 +1,250 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+
+	"radixdecluster/internal/bat"
+	"radixdecluster/internal/compress"
+	"radixdecluster/internal/posjoin"
+)
+
+// encode compresses a column under Best, failing the test on error.
+func encode(t *testing.T, vals []int32) *compress.Encoded {
+	t.Helper()
+	e, err := compress.EncodeBest(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// withEngines runs f on the serial engine and on pools of every test
+// worker count — the compressed ops must be byte-identical across all.
+func withEngines(t *testing.T, f func(t *testing.T, e *Engine)) {
+	t.Helper()
+	serial := NewEngine(0)
+	t.Run("serial", func(t *testing.T) { f(t, serial) })
+	for _, w := range workerCounts {
+		e := NewEngine(w)
+		t.Run("", func(t *testing.T) { f(t, e) })
+		e.Close()
+	}
+	rt := NewRuntimeOpts(Options{Workers: 2, MaxConcurrent: 2, ShareScans: true})
+	defer rt.Close()
+	re := &Engine{pool: rt.NewPool(2)}
+	defer re.Close()
+	t.Run("runtime", func(t *testing.T) { f(t, re) })
+}
+
+func TestMaterializeColMatchesRaw(t *testing.T) {
+	vals := randVals(41, testN, false)
+	enc := encode(t, vals)
+	withEngines(t, func(t *testing.T, e *Engine) {
+		got, err := e.MaterializeCol(Col{Enc: enc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, vals) {
+			t.Fatalf("workers=%d: materialized column differs from raw", e.Workers())
+		}
+		if raw, err := e.MaterializeCol(RawCol(vals)); err != nil || !reflect.DeepEqual(raw, vals) {
+			t.Fatalf("raw passthrough changed the column: %v", err)
+		}
+	})
+}
+
+func TestFetchManyColsMatchesRaw(t *testing.T) {
+	cols := [][]int32{randVals(42, testN, false), randVals(43, testN, true)}
+	oids := randOIDs(44, testN, testN)
+	want, err := posjoin.FetchMany(cols, oids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mixed views: column 0 compressed, column 1 raw.
+	views := []Col{{Enc: encode(t, cols[0])}, RawCol(cols[1])}
+	withEngines(t, func(t *testing.T, e *Engine) {
+		got, err := e.FetchManyCols(views, oids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: compressed FetchMany differs from raw", e.Workers())
+		}
+		if e.CompStats().Cols == 0 {
+			t.Fatal("no compressed column accounted")
+		}
+	})
+}
+
+func TestClusteredColMatchesRaw(t *testing.T) {
+	col := randVals(45, testN, false)
+	// Clustered oids: borders over a partially-sorted oid order.
+	oids := randOIDs(46, testN, testN)
+	const parts = 64
+	borders := make([]bat.Border, parts)
+	per := testN / parts
+	for i := range borders {
+		borders[i] = bat.Border{Start: i * per, End: (i + 1) * per}
+	}
+	borders[parts-1].End = testN
+	want, err := posjoin.Clustered(col, oids, borders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := encode(t, col)
+	withEngines(t, func(t *testing.T, e *Engine) {
+		got, err := e.ClusteredCol(Col{Enc: enc}, oids, borders)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: compressed Clustered differs from raw", e.Workers())
+		}
+	})
+}
+
+func TestScanColumnEncMatchesRaw(t *testing.T) {
+	const width = 4
+	rel := testRelation(47, testN, width)
+	enc := encode(t, rel.Data)
+	for col := 0; col < width; col++ {
+		want := rel.ScanColumn(col)
+		withEngines(t, func(t *testing.T, e *Engine) {
+			got, err := e.ScanColumnEnc(enc, width, col)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("workers=%d col=%d: compressed scan differs from raw", e.Workers(), col)
+			}
+		})
+	}
+}
+
+func TestScanProjectEncMatchesRaw(t *testing.T) {
+	const width = 5
+	rel := testRelation(48, testN, width)
+	enc := encode(t, rel.Data)
+	cols := []int{3, 0, 4}
+	want := rel.ScanProject("proj", cols)
+	withEngines(t, func(t *testing.T, e *Engine) {
+		got, err := e.ScanProjectEnc("proj", enc, width, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: compressed project scan differs from raw", e.Workers())
+		}
+	})
+}
+
+func TestGatherProjectEncMatchesRaw(t *testing.T) {
+	const width = 4
+	rel := testRelation(49, testN, width)
+	enc := encode(t, rel.Data)
+	oids := randOIDs(50, testN, testN)
+	cols := []int{2, 1}
+	want := rel.GatherProject("g", oids, cols)
+	withEngines(t, func(t *testing.T, e *Engine) {
+		got, err := e.GatherProjectEnc("g", enc, width, oids, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: compressed gather differs from raw", e.Workers())
+		}
+		// Strided in-place variant.
+		dst := make([]int32, len(oids)*3)
+		if err := e.GatherProjectEncInto(enc, width, dst, 3, 1, oids, cols); err != nil {
+			t.Fatal(err)
+		}
+		for i := range oids {
+			for k := range cols {
+				if dst[i*3+1+k] != want.Data[i*len(cols)+k] {
+					t.Fatalf("workers=%d: strided gather differs at record %d field %d", e.Workers(), i, k)
+				}
+			}
+		}
+	})
+}
+
+func TestStitchRowsMatchesRaw(t *testing.T) {
+	keys := randVals(52, testN, false)
+	cols := [][]int32{randVals(53, testN, false), randVals(54, testN, true)}
+	oids := randOIDs(55, testN, testN)
+	w := 1 + len(cols)
+	want := make([]int32, testN*w)
+	for i := 0; i < testN; i++ {
+		want[i*w] = keys[i]
+		for j, col := range cols {
+			want[i*w+1+j] = col[oids[i]]
+		}
+	}
+	views := []Col{{Enc: encode(t, cols[0])}, RawCol(cols[1])}
+	keyCol := Col{Raw: keys, Enc: encode(t, keys)}
+	withEngines(t, func(t *testing.T, e *Engine) {
+		got, err := e.StitchRows(keyCol, views, oids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: compressed stitch differs from raw", e.Workers())
+		}
+		// All-raw views must match too (the fallback the strategies use).
+		raw, err := e.StitchRows(RawCol(keys), []Col{RawCol(cols[0]), RawCol(cols[1])}, oids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(raw, want) {
+			t.Fatalf("workers=%d: raw stitch differs", e.Workers())
+		}
+	})
+}
+
+func TestCompressedOpErrors(t *testing.T) {
+	vals := randVals(51, 4*compress.BlockSize, false)
+	enc := encode(t, vals)
+	e := NewEngine(0)
+	if _, err := e.ScanColumnEnc(enc, 3, 0); err == nil {
+		t.Fatal("non-divisible width accepted")
+	}
+	if _, err := e.ScanColumnEnc(enc, 4, 4); err == nil {
+		t.Fatal("column outside width accepted")
+	}
+	if _, err := e.FetchManyCols([]Col{{Enc: enc}}, []OID{OID(enc.Len())}); err == nil {
+		t.Fatal("out-of-range oid accepted")
+	}
+	if err := e.GatherProjectEncInto(enc, 4, make([]int32, 4), 2, 1, []OID{0, 1}, []int{0, 1}); err == nil {
+		t.Fatal("fields outside dst width accepted")
+	}
+}
+
+// TestCompStatsAccounting pins the counter semantics: a compressed
+// materialize accounts the whole column's encoded bytes, a positive
+// saving for compressible data, and nonzero decode time.
+func TestCompStatsAccounting(t *testing.T) {
+	vals := make([]int32, testN)
+	for i := range vals {
+		vals[i] = int32(i) // dense: compresses hard
+	}
+	enc := encode(t, vals)
+	e := NewEngine(2)
+	defer e.Close()
+	if _, err := e.MaterializeCol(Col{Enc: enc}); err != nil {
+		t.Fatal(err)
+	}
+	st := e.CompStats()
+	if st.Cols != 1 {
+		t.Fatalf("Cols = %d, want 1", st.Cols)
+	}
+	if st.CompressedBytes < int64(enc.CompressedBytes()) {
+		t.Fatalf("CompressedBytes = %d, want >= %d", st.CompressedBytes, enc.CompressedBytes())
+	}
+	if st.SavedBytes <= 0 {
+		t.Fatalf("SavedBytes = %d, want > 0 for dense data", st.SavedBytes)
+	}
+	if st.DecodeNanos <= 0 {
+		t.Fatalf("DecodeNanos = %d, want > 0", st.DecodeNanos)
+	}
+}

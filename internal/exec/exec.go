@@ -323,6 +323,7 @@ func (p *Pool) RunAff(ntasks int, aff func(task int) uint64, fn func(worker, tas
 // reused for the lifetime of the worker.
 type Scratch struct {
 	ints []int
+	dec  *decoder // compressed-column scratch (compressed.go), lazy
 }
 
 // Ints returns a zeroed []int of length n, reusing the worker's

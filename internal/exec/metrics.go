@@ -55,6 +55,12 @@ func newRTMetrics(rt *Runtime) *rtMetrics {
 	reg.CounterFunc("radixdecluster_shared_scan_hits_total",
 		"Scans served by a cooperative pass another query had already started.",
 		func() float64 { return float64(rt.SharedScanHits()) })
+	reg.CounterFunc("radixdecluster_compressed_saved_bytes_total",
+		"Raw bytes pipelines avoided moving by executing over block-compressed columns.",
+		func() float64 { return float64(rt.CompressedSavedBytes()) })
+	reg.CounterFunc("radixdecluster_compressed_decode_seconds_total",
+		"Wall-clock seconds pipelines spent in block-decode loops.",
+		func() float64 { return float64(rt.CompressedDecodeNanos()) / 1e9 })
 	m.phaseSeconds = reg.CounterVec("radixdecluster_phase_seconds_total",
 		"Wall-clock seconds spent executing pipeline phases, by phase kind.",
 		"phase")

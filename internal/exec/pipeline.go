@@ -109,6 +109,11 @@ type Timings struct {
 	// whose caches the placement predicted warm) and steals by
 	// topology distance. Zero on serial engines and owned pools.
 	Sched SchedStats
+	// Comp is the pipeline's compressed-execution tally: compressed
+	// column inputs consumed, encoded bytes read, raw bytes that
+	// traffic replaced, and wall time inside block-decode loops. Zero
+	// when every input executed raw.
+	Comp CompStats
 }
 
 // Queue returns the total queueing time: admission wait plus the
@@ -252,6 +257,11 @@ func (p *Pipeline) Execute() (Timings, error) {
 	tm.Total = time.Since(start)
 	tm.SharedScanHits = p.eng.sharedScanHits()
 	tm.Sched = p.eng.schedStats()
+	tm.Comp = p.eng.comp.snapshot()
+	if p.eng.pool != nil && p.eng.pool.rt != nil {
+		p.eng.pool.rt.compSaved.Add(tm.Comp.SavedBytes)
+		p.eng.pool.rt.compDecodeNanos.Add(tm.Comp.DecodeNanos)
+	}
 	return tm, err
 }
 
@@ -261,6 +271,8 @@ func (p *Pipeline) Execute() (Timings, error) {
 // shared by every phase of a pipeline.
 type Engine struct {
 	pool *Pool
+	comp compCounters // compressed-execution counters (compressed.go)
+	sdec *decoder     // serial-path compressed scratch, lazy
 }
 
 // NewEngine creates an engine: workers <= 0 selects the serial paper

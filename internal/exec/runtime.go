@@ -312,6 +312,12 @@ type Runtime struct {
 	sched   schedCounters // process-wide scheduler counters
 	pinned  atomic.Int64  // workers whose pin succeeded
 
+	// Compressed-execution totals, accumulated per pipeline at
+	// Execute end (pipeline.go) — bus bytes avoided and decode wall
+	// time across every query the runtime has served.
+	compSaved       atomic.Int64
+	compDecodeNanos atomic.Int64
+
 	scanReg scanRegistry // cooperative-scan registry (scanshare.go)
 	metrics *rtMetrics   // Prometheus-style registry hooks (nil = off)
 
@@ -607,6 +613,16 @@ func (rt *Runtime) SchedStatsWindow() SchedWindow {
 	defer rt.mu.Unlock()
 	return rt.win
 }
+
+// CompressedSavedBytes returns the total raw bytes the runtime's
+// pipelines avoided moving by executing over block-compressed columns
+// (decoded minus encoded bytes, per decode).
+func (rt *Runtime) CompressedSavedBytes() int64 { return rt.compSaved.Load() }
+
+// CompressedDecodeNanos returns the total wall time the runtime's
+// pipelines spent inside block-decode loops — the CPU price paid for
+// the saved bandwidth.
+func (rt *Runtime) CompressedDecodeNanos() int64 { return rt.compDecodeNanos.Load() }
 
 // MetricsRegistry returns the runtime's metrics registry (nil unless
 // Options.Metrics). Serve it with obs.Serve, or mount obs.NewMux on

@@ -39,6 +39,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"radixdecluster/internal/compress"
 )
 
 // scanChunkItems sizes shared-scan chunks: small enough that one
@@ -62,6 +64,7 @@ type ScanKey struct {
 const (
 	scanKindRows uint8 = iota + 1
 	scanKindColumn
+	scanKindEnc
 )
 
 // RowsScanKey identifies a scan over the records of a row-major
@@ -84,6 +87,17 @@ func ColumnScanKey(col []int32, n int) ScanKey {
 		return ScanKey{}
 	}
 	return ScanKey{base: reflect.ValueOf(col).Pointer(), n: n, kind: scanKindColumn}
+}
+
+// EncScanKey identifies a scan-shaped pass over a block-compressed
+// column or image by its encoded byte stream, so concurrent pipelines
+// decompressing the same source over the same item space are served by
+// one circular pass — compressed chunks cross the bus once per circle.
+func EncScanKey(enc *compress.Encoded, n int) ScanKey {
+	if enc == nil || enc.CompressedBytes() == 0 || n <= 0 {
+		return ScanKey{}
+	}
+	return ScanKey{base: reflect.ValueOf(enc.Bytes()).Pointer(), n: n, kind: scanKindEnc}
 }
 
 // sharedScan is one live circular pass. All fields are guarded by the

@@ -3,6 +3,7 @@ package strategy
 import (
 	"fmt"
 
+	"radixdecluster/internal/compress"
 	"radixdecluster/internal/core"
 	"radixdecluster/internal/exec"
 	"radixdecluster/internal/jive"
@@ -18,6 +19,10 @@ type NSMSide struct {
 	Rel      *nsm.Relation
 	KeyCol   int
 	ProjCols []int
+	// Enc is an optional block-compressed image of Rel.Data (populate
+	// with Encode); it must decode to exactly the raw records.
+	// Config.Compress selects whether scans and gathers read it.
+	Enc *compress.Encoded
 }
 
 func (s NSMSide) validate(name string) error {
@@ -32,18 +37,37 @@ func (s NSMSide) validate(name string) error {
 			return fmt.Errorf("strategy: %s: projection column %d outside width %d", name, c, s.Rel.Width)
 		}
 	}
+	if s.Enc != nil && s.Enc.Len() != len(s.Rel.Data) {
+		return fmt.Errorf("strategy: %s: record encoding holds %d values, want %d", name, s.Enc.Len(), len(s.Rel.Data))
+	}
 	return nil
 }
 
 // scanWide extracts the [key | π] wide tuples of an NSM
 // pre-projection scan, record at a time (the paper's "NSM projection
-// routine"), chunked on the engine.
-func (s NSMSide) scanWide(e *exec.Engine) ([]int32, int) {
+// routine"), chunked on the engine; compressed runs read the encoded
+// record stream instead.
+func (s NSMSide) scanWide(e *exec.Engine, comp bool) ([]int32, int, error) {
 	cols := make([]int, 0, len(s.ProjCols)+1)
 	cols = append(cols, s.KeyCol)
 	cols = append(cols, s.ProjCols...)
+	if comp && s.Enc != nil {
+		rel, err := e.ScanProjectEnc(s.Rel.Name+"_wide", s.Enc, s.Rel.Width, cols)
+		if err != nil {
+			return nil, 0, err
+		}
+		return rel.Data, rel.Width, nil
+	}
 	rel := e.ScanProject(s.Rel, s.Rel.Name+"_wide", cols)
-	return rel.Data, rel.Width
+	return rel.Data, rel.Width, nil
+}
+
+// scanKeys extracts the side's key column for the join-index build.
+func (s NSMSide) scanKeys(e *exec.Engine, comp bool) ([]int32, error) {
+	if comp && s.Enc != nil {
+		return e.ScanColumnEnc(s.Enc, s.Rel.Width, s.KeyCol)
+	}
+	return e.ScanColumn(s.Rel, s.KeyCol), nil
 }
 
 // NSMPre runs NSM pre-projection: projection attributes are copied
@@ -62,20 +86,31 @@ func NSMPre(larger, smaller NSMSide, partitioned bool, cfg Config) (*Result, err
 	if partitioned {
 		jo = joinOpts(cfg, smaller.Rel.Len(), sw*4)
 	}
+	useComp, compW := false, 0
+	if cfg.Compress != CompressOff && (larger.Enc != nil || smaller.Enc != nil) {
+		cp := cfg.compressionTerm(larger.Enc, smaller.Enc)
+		useComp, compW = cfg.planRowsComp(larger.Rel.Len(), smaller.Rel.Len(), lw, sw, jo.Bits, cp)
+	}
 	pl := cfg.pipelineFor(larger.Rel.Len()+smaller.Rel.Len(), nsmAffinitySeed(larger), func() int {
+		if compW > 0 {
+			return compW
+		}
 		return planParallelismRows(larger.Rel.Len(), smaller.Rel.Len(), lw, sw, jo.Bits, cfg)
 	})
 	defer pl.Close()
-	res := &Result{LargerMethod: 'p', SmallerMethod: 'p', Workers: pl.Workers()}
+	res := &Result{LargerMethod: 'p', SmallerMethod: 'p', Workers: pl.Workers(), Compressed: useComp}
 	if partitioned {
 		res.JoinBits = jo.Bits
 	}
 
 	var lRows, sRows []int32
 	pl.Then(exec.PhaseScan, "nsm-scan-project", func(e *exec.Engine) error {
-		lRows, _ = larger.scanWide(e)
-		sRows, _ = smaller.scanWide(e)
-		return nil
+		var err error
+		if lRows, _, err = larger.scanWide(e, useComp); err != nil {
+			return err
+		}
+		sRows, _, err = smaller.scanWide(e, useComp)
+		return err
 	})
 	pl.Then(exec.PhaseJoin, "rows-join", func(e *exec.Engine) error {
 		var rr *join.RowsResult
@@ -138,7 +173,18 @@ func NSMPostDecluster(larger, smaller NSMSide, cfg Config) (*Result, error) {
 		}
 	}
 
+	useComp, compW := false, 0
+	if cfg.Compress != CompressOff && (larger.Enc != nil || smaller.Enc != nil) {
+		cp := cfg.compressionTerm(larger.Enc, smaller.Enc)
+		useComp, compW = cfg.planNSMPostComp(larger.Rel.Len(),
+			max(larger.Rel.Len(), smaller.Rel.Len()),
+			max(larger.Rel.TupleBytes(), smaller.Rel.TupleBytes()),
+			max(piL, piS)*4, po.Bits, window, cp)
+	}
 	pl := cfg.pipelineFor(larger.Rel.Len()+smaller.Rel.Len(), nsmAffinitySeed(larger), func() int {
+		if compW > 0 {
+			return compW
+		}
 		return planParallelismNSMPost(larger.Rel.Len(),
 			max(larger.Rel.Len(), smaller.Rel.Len()),
 			max(larger.Rel.TupleBytes(), smaller.Rel.TupleBytes()),
@@ -149,14 +195,20 @@ func NSMPostDecluster(larger, smaller NSMSide, cfg Config) (*Result, error) {
 		LargerMethod: PartialCluster, SmallerMethod: Declustered,
 		Workers: pl.Workers(), JoinBits: jo.Bits,
 		LargerBits: po.Bits, SmallerBits: so.Bits, Window: window,
+		Compressed: useComp,
 	}
 
 	// Key extraction scans.
 	var lKeys, sKeys []int32
 	var lOIDs, sOIDs []OID
 	pl.Then(exec.PhaseScan, "key-extraction", func(e *exec.Engine) error {
-		lKeys = e.ScanColumn(larger.Rel, larger.KeyCol)
-		sKeys = e.ScanColumn(smaller.Rel, smaller.KeyCol)
+		var err error
+		if lKeys, err = larger.scanKeys(e, useComp); err != nil {
+			return err
+		}
+		if sKeys, err = smaller.scanKeys(e, useComp); err != nil {
+			return err
+		}
 		lOIDs = denseOIDs(larger.Rel.Len())
 		sOIDs = denseOIDs(smaller.Rel.Len())
 		return nil
@@ -184,6 +236,9 @@ func NSMPostDecluster(larger, smaller NSMSide, cfg Config) (*Result, error) {
 	pl.Then(exec.PhaseProjectLarger, "gather-larger", func(e *exec.Engine) error {
 		res.RowWidth = piL + piS
 		res.Rows = make([]int32, res.N*res.RowWidth)
+		if useComp && larger.Enc != nil {
+			return e.GatherProjectEncInto(larger.Enc, larger.Rel.Width, res.Rows, res.RowWidth, 0, cl.Key, larger.ProjCols)
+		}
 		return e.GatherProjectInto(larger.Rel, res.Rows, res.RowWidth, 0, cl.Key, larger.ProjCols)
 	})
 
@@ -201,7 +256,11 @@ func NSMPostDecluster(larger, smaller NSMSide, cfg Config) (*Result, error) {
 		var clustered *nsm.Relation
 		pl.Then(exec.PhaseProjectSmaller, "gather-smaller", func(e *exec.Engine) error {
 			var err error
-			clustered, err = e.GatherProject(smaller.Rel, "sproj", cl2.SmallerOIDs, smaller.ProjCols)
+			if useComp && smaller.Enc != nil {
+				clustered, err = e.GatherProjectEnc("sproj", smaller.Enc, smaller.Rel.Width, cl2.SmallerOIDs, smaller.ProjCols)
+			} else {
+				clustered, err = e.GatherProject(smaller.Rel, "sproj", cl2.SmallerOIDs, smaller.ProjCols)
+			}
 			return err
 		})
 		pl.Then(exec.PhaseDecluster, "radix-decluster-rows", func(e *exec.Engine) error {
@@ -234,7 +293,23 @@ func NSMPostJive(larger, smaller NSMSide, jiveBits int, cfg Config) (*Result, er
 	if projBytes == 0 {
 		projBytes = 4
 	}
+	// Compressed execution covers the key-extraction scans; the Jive
+	// left/right phases themselves stay over the raw records (their
+	// merge cursors and scatter regions are already cache-confined).
+	useComp, compW := false, 0
+	if cfg.Compress != CompressOff && (larger.Enc != nil || smaller.Enc != nil) {
+		cp := cfg.compressionTerm(larger.Enc, smaller.Enc)
+		bits := jiveBits
+		if bits == 0 {
+			bits = radix.OptimalBits(larger.Rel.Len(), projBytes, h.LLC().Size)
+		}
+		useComp, compW = cfg.planJiveComp(larger.Rel.Len(), larger.Rel.Len(), smaller.Rel.Len(),
+			max(larger.Rel.TupleBytes(), smaller.Rel.TupleBytes()), projBytes, bits, cp)
+	}
 	pl := cfg.pipelineFor(larger.Rel.Len()+smaller.Rel.Len(), nsmAffinitySeed(larger), func() int {
+		if compW > 0 {
+			return compW
+		}
 		bits := jiveBits
 		if bits == 0 {
 			bits = radix.OptimalBits(larger.Rel.Len(), projBytes, h.LLC().Size)
@@ -243,13 +318,18 @@ func NSMPostJive(larger, smaller NSMSide, jiveBits int, cfg Config) (*Result, er
 			max(larger.Rel.TupleBytes(), smaller.Rel.TupleBytes()), projBytes, bits, cfg)
 	})
 	defer pl.Close()
-	res := &Result{LargerMethod: 'j', SmallerMethod: 'j', Workers: pl.Workers(), JoinBits: jo.Bits}
+	res := &Result{LargerMethod: 'j', SmallerMethod: 'j', Workers: pl.Workers(), JoinBits: jo.Bits, Compressed: useComp}
 
 	var lKeys, sKeys []int32
 	var lOIDs, sOIDs []OID
 	pl.Then(exec.PhaseScan, "key-extraction", func(e *exec.Engine) error {
-		lKeys = e.ScanColumn(larger.Rel, larger.KeyCol)
-		sKeys = e.ScanColumn(smaller.Rel, smaller.KeyCol)
+		var err error
+		if lKeys, err = larger.scanKeys(e, useComp); err != nil {
+			return err
+		}
+		if sKeys, err = smaller.scanKeys(e, useComp); err != nil {
+			return err
+		}
 		lOIDs = denseOIDs(larger.Rel.Len())
 		sOIDs = denseOIDs(smaller.Rel.Len())
 		return nil

@@ -188,6 +188,7 @@ func phasesFromTimings(t exec.Timings) Phases {
 		Queue:          t.Queue(),
 		SharedScanHits: t.SharedScanHits,
 		Sched:          t.Sched,
+		Comp:           t.Comp,
 		Total:          t.Total,
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"radixdecluster/internal/bat"
+	"radixdecluster/internal/compress"
 	"radixdecluster/internal/core"
 	"radixdecluster/internal/exec"
 	"radixdecluster/internal/join"
@@ -114,6 +115,14 @@ type Config struct {
 	// QueryTag names the query for pprof goroutine labels (e.g. the
 	// strategy name) on runtimes built with PprofLabels.
 	QueryTag string
+	// Compress selects compressed execution over the sides'
+	// block-compressed column images (DSMSide.KeysEnc/ColsEnc,
+	// NSMSide.Enc — populate them with the sides' Encode methods):
+	// CompressOff (default) runs raw, CompressAuto lets the cost
+	// model's compression term decide per strategy, CompressOn forces
+	// compressed execution wherever an encoding exists. Result bytes
+	// are identical in all modes.
+	Compress CompressMode
 }
 
 func (c Config) hier() mem.Hierarchy {
@@ -151,16 +160,25 @@ type Phases struct {
 	// morsels executed on their home worker (local hits) versus stolen
 	// by topology distance. Zero for serial runs and owned pools.
 	Sched exec.SchedStats
+	// Comp counts this run's compressed execution: compressed column
+	// inputs consumed, encoded bytes read, raw bytes that traffic
+	// replaced, and wall time in block-decode loops. Zero for raw runs.
+	Comp exec.CompStats
 	// Total is the end-to-end time.
 	Total time.Duration
 }
 
 func (p Phases) String() string {
-	return fmt.Sprintf("scan=%v join=%v reorder=%v projL=%v projS=%v declust=%v queue=%v sharedscans=%d sched[%v] total=%v",
+	s := fmt.Sprintf("scan=%v join=%v reorder=%v projL=%v projS=%v declust=%v queue=%v sharedscans=%d sched[%v] total=%v",
 		p.Scan.Round(time.Microsecond), p.Join.Round(time.Microsecond),
 		p.ReorderJI.Round(time.Microsecond), p.ProjectLarger.Round(time.Microsecond),
 		p.ProjectSmaller.Round(time.Microsecond), p.Decluster.Round(time.Microsecond),
 		p.Queue.Round(time.Microsecond), p.SharedScanHits, p.Sched, p.Total.Round(time.Microsecond))
+	if p.Comp.Cols > 0 {
+		s += fmt.Sprintf(" comp[cols=%d saved=%dB decode=%v]",
+			p.Comp.Cols, p.Comp.SavedBytes, p.Comp.DecodeTime().Round(time.Microsecond))
+	}
+	return s
 }
 
 // Result is a completed project-join.
@@ -187,6 +205,10 @@ type Result struct {
 	// Workers records the executor used: 0 = serial paper mode,
 	// n >= 1 = the morsel-driven parallel executor with n workers.
 	Workers int
+	// Compressed records the planner's representation decision: true
+	// when the run executed over block-compressed column images
+	// (Config.Compress with encoded sides).
+	Compressed bool
 }
 
 // DSMSide describes one join side for the DSM strategies: the
@@ -199,6 +221,12 @@ type DSMSide struct {
 	Cols [][]int32
 	// BaseN is the base-table cardinality; oids lie in [0, BaseN).
 	BaseN int
+	// KeysEnc / ColsEnc are optional block-compressed images of Keys
+	// and Cols (populate with Encode); nil entries stay raw-only. They
+	// must decode to exactly the raw values — Config.Compress selects
+	// whether execution reads them.
+	KeysEnc *compress.Encoded
+	ColsEnc []*compress.Encoded
 }
 
 func (s DSMSide) validate(name string) error {
@@ -211,6 +239,17 @@ func (s DSMSide) validate(name string) error {
 	for c, col := range s.Cols {
 		if len(col) != s.BaseN {
 			return fmt.Errorf("strategy: %s: column %d has %d values, want BaseN=%d", name, c, len(col), s.BaseN)
+		}
+	}
+	if s.KeysEnc != nil && s.KeysEnc.Len() != len(s.Keys) {
+		return fmt.Errorf("strategy: %s: key encoding holds %d values, want %d", name, s.KeysEnc.Len(), len(s.Keys))
+	}
+	if len(s.ColsEnc) > len(s.Cols) {
+		return fmt.Errorf("strategy: %s: %d column encodings for %d columns", name, len(s.ColsEnc), len(s.Cols))
+	}
+	for c, e := range s.ColsEnc {
+		if e != nil && e.Len() != s.BaseN {
+			return fmt.Errorf("strategy: %s: column %d encoding holds %d values, want BaseN=%d", name, c, e.Len(), s.BaseN)
 		}
 	}
 	return nil
@@ -299,6 +338,17 @@ func DSMPost(larger, smaller DSMSide, lm, sm ProjMethod, cfg Config) (*Result, e
 		return nil, fmt.Errorf("strategy: smaller-side method %q (want u or d)", sm)
 	}
 
+	// Representation decision: when the sides carry compressed images
+	// and the mode allows it, the cost model's compression term picks
+	// compressed-vs-raw (and the worker count under the winner).
+	useComp, compW := false, 0
+	if cfg.Compress != CompressOff && (larger.hasEnc() || smaller.hasEnc()) {
+		cp := cfg.compressionTerm(append(larger.encs(), smaller.encs()...)...)
+		useComp, compW = cfg.planDSMPost(max(len(larger.OIDs), len(smaller.OIDs)),
+			max(larger.BaseN, smaller.BaseN),
+			max(len(larger.Cols), len(smaller.Cols)), cp)
+	}
+
 	// The auto decision uses the same shape estimates as PlanJoin
 	// (radixdecluster.PlanJoin): result cardinality ≈ the larger
 	// input, π = the wider projection list. The larger key column is
@@ -306,20 +356,36 @@ func DSMPost(larger, smaller DSMSide, lm, sm ProjMethod, cfg Config) (*Result, e
 	// same sides home the same partitions on the same workers.
 	pl := cfg.pipelineFor(len(larger.OIDs)+len(smaller.OIDs),
 		exec.ColumnScanKey(larger.Keys, len(larger.OIDs)).Seed(), func() int {
+			if compW > 0 {
+				return compW
+			}
 			return PlanParallelism(max(len(larger.OIDs), len(smaller.OIDs)),
 				max(larger.BaseN, smaller.BaseN),
 				max(len(larger.Cols), len(smaller.Cols)), cfg)
 		})
 	defer pl.Close()
-	res := &Result{Workers: pl.Workers(), LargerMethod: lm, SmallerMethod: sm}
+	res := &Result{Workers: pl.Workers(), LargerMethod: lm, SmallerMethod: sm, Compressed: useComp}
 
 	// Phase 1: join-index via Partitioned Hash-Join on the key BATs.
+	// Compressed key columns are materialised first — a scan-shaped
+	// decode pass that reads only the encoded bytes from RAM.
+	lKeys, sKeys := larger.Keys, smaller.Keys
+	if useComp && (larger.KeysEnc != nil || smaller.KeysEnc != nil) {
+		pl.Then(exec.PhaseScan, "decompress-keys", func(e *exec.Engine) error {
+			var err error
+			if lKeys, err = e.MaterializeCol(larger.keysView(true)); err != nil {
+				return err
+			}
+			sKeys, err = e.MaterializeCol(smaller.keysView(true))
+			return err
+		})
+	}
 	jo := joinOpts(cfg, len(smaller.OIDs), 4)
 	res.JoinBits = jo.Bits
 	var ji *join.Index
 	pl.Then(exec.PhaseJoin, "partitioned-hash-join", func(e *exec.Engine) error {
 		var err error
-		ji, err = e.PartitionedJoin(larger.OIDs, larger.Keys, smaller.OIDs, smaller.Keys, jo)
+		ji, err = e.PartitionedJoin(larger.OIDs, lKeys, smaller.OIDs, sKeys, jo)
 		if err != nil {
 			return err
 		}
@@ -359,7 +425,7 @@ func DSMPost(larger, smaller DSMSide, lm, sm ProjMethod, cfg Config) (*Result, e
 			largerOIDs, smallerInResultOrder = ji.Larger, ji.Smaller
 		}
 		var err error
-		res.LargerCols, err = e.FetchMany(larger.Cols, largerOIDs)
+		res.LargerCols, err = e.FetchManyCols(larger.views(useComp), largerOIDs)
 		return err
 	})
 
@@ -368,7 +434,7 @@ func DSMPost(larger, smaller DSMSide, lm, sm ProjMethod, cfg Config) (*Result, e
 	case Unsorted:
 		pl.Then(exec.PhaseProjectSmaller, "fetch-smaller", func(e *exec.Engine) error {
 			var err error
-			res.SmallerCols, err = e.FetchMany(smaller.Cols, smallerInResultOrder)
+			res.SmallerCols, err = e.FetchManyCols(smaller.views(useComp), smallerInResultOrder)
 			return err
 		})
 	case Declustered:
@@ -397,7 +463,7 @@ func DSMPost(larger, smaller DSMSide, lm, sm ProjMethod, cfg Config) (*Result, e
 			var cv []int32
 			pl.Then(exec.PhaseProjectSmaller, "fetch-clustered", func(e *exec.Engine) error {
 				var err error
-				cv, err = e.Clustered(smaller.Cols[k], cl.SmallerOIDs, cl.Borders)
+				cv, err = e.ClusteredCol(smaller.view(k, useComp), cl.SmallerOIDs, cl.Borders)
 				return err
 			})
 			pl.Then(exec.PhaseDecluster, "radix-decluster", func(e *exec.Engine) error {
@@ -428,18 +494,29 @@ func DSMPre(larger, smaller DSMSide, cfg Config) (*Result, error) {
 	}
 	lw, sw := 1+len(larger.Cols), 1+len(smaller.Cols)
 	jo := joinOpts(cfg, len(smaller.OIDs), sw*4)
+	useComp, compW := false, 0
+	if cfg.Compress != CompressOff && (larger.hasEnc() || smaller.hasEnc()) {
+		cp := cfg.compressionTerm(append(larger.encs(), smaller.encs()...)...)
+		useComp, compW = cfg.planRowsComp(len(larger.OIDs), len(smaller.OIDs), lw, sw, jo.Bits, cp)
+	}
 	pl := cfg.pipelineFor(len(larger.OIDs)+len(smaller.OIDs),
 		exec.ColumnScanKey(larger.Keys, len(larger.OIDs)).Seed(), func() int {
+			if compW > 0 {
+				return compW
+			}
 			return planParallelismRows(len(larger.OIDs), len(smaller.OIDs), lw, sw, jo.Bits, cfg)
 		})
 	defer pl.Close()
-	res := &Result{LargerMethod: 'p', SmallerMethod: 'p', Workers: pl.Workers(), JoinBits: jo.Bits}
+	res := &Result{LargerMethod: 'p', SmallerMethod: 'p', Workers: pl.Workers(), JoinBits: jo.Bits, Compressed: useComp}
 
 	var lRows, sRows []int32
 	pl.Then(exec.PhaseScan, "stitch-wide-tuples", func(e *exec.Engine) error {
-		lRows = stitchRows(e, larger)
-		sRows = stitchRows(e, smaller)
-		return nil
+		var err error
+		if lRows, err = e.StitchRows(larger.keysView(useComp), larger.views(useComp), larger.OIDs); err != nil {
+			return err
+		}
+		sRows, err = e.StitchRows(smaller.keysView(useComp), smaller.views(useComp), smaller.OIDs)
+		return err
 	})
 	pl.Then(exec.PhaseJoin, "partitioned-rows-join", func(e *exec.Engine) error {
 		rr, err := e.PartitionedRowsJoin(lRows, lw, 0, sRows, sw, 0, jo)
@@ -456,28 +533,4 @@ func DSMPre(larger, smaller DSMSide, cfg Config) (*Result, error) {
 	}
 	res.Phases = phasesFromTimings(tm)
 	return res, nil
-}
-
-// stitchRows builds the [key | π columns] wide tuples of a
-// pre-projection scan, column at a time, chunked on the engine
-// (chunks write disjoint record ranges). The side's key column is the
-// declared scan source: concurrent pre-projection queries over the
-// same DSM side fetch its columns in one shared pass.
-func stitchRows(e *exec.Engine, s DSMSide) []int32 {
-	n := len(s.OIDs)
-	w := 1 + len(s.Cols)
-	rows := make([]int32, n*w)
-	_ = e.SharedRanges(exec.ColumnScanKey(s.Keys, n), n, func(r exec.Range) error {
-		for i := r.Lo; i < r.Hi; i++ {
-			rows[i*w] = s.Keys[i]
-		}
-		for j, col := range s.Cols {
-			off := j + 1
-			for i := r.Lo; i < r.Hi; i++ {
-				rows[i*w+off] = col[s.OIDs[i]]
-			}
-		}
-		return nil
-	})
-	return rows
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"radixdecluster/internal/compress"
 	"radixdecluster/internal/core"
 	"radixdecluster/internal/costmodel"
 	"radixdecluster/internal/join"
@@ -90,6 +91,29 @@ const (
 	DeclusterMethod ProjMethod = 'd'
 )
 
+// Compression selects whether ProjectJoin executes over the
+// relations' block-compressed column images (built by relations
+// constructed with WithCompression; relations without them always run
+// raw). Result bytes are identical in every mode — compression only
+// changes what the memory bus carries.
+type Compression int
+
+const (
+	// CompressionOff executes over the raw arrays (default).
+	CompressionOff Compression = iota
+	// CompressionAuto lets the cost model decide per strategy: modeled
+	// sequential bus traffic shrinks by the measured compression ratio
+	// while CPU grows by the calibrated per-value decode cost, and the
+	// cheaper representation wins.
+	CompressionAuto
+	// CompressionOn forces compressed execution wherever an encoding
+	// exists.
+	CompressionOn
+)
+
+// String returns "off", "auto" or "on".
+func (c Compression) String() string { return strategy.CompressMode(c).String() }
+
 // JoinQuery is the paper's §1.1 query:
 //
 //	SELECT larger.a1..aY, smaller.b1..bZ
@@ -125,6 +149,12 @@ type JoinQuery struct {
 	// automatically share a single worker pool under admission
 	// control. Serial runs (Parallelism 0) never involve a runtime.
 	Runtime *Runtime
+	// Compression selects the execution format when the relations carry
+	// block-compressed images (WithCompression): off (the default) runs
+	// raw, auto lets the cost model pick the cheaper representation per
+	// strategy, on forces compressed execution. Never changes result
+	// bytes.
+	Compression Compression
 	// Trace records this query's execution as span events — per-phase
 	// spans with queue waits and morsel counts, per-morsel worker
 	// spans with steal distances, admission waits, shared-scan hits —
@@ -165,6 +195,16 @@ type Timing struct {
 	// their partition from earlier phases) versus steals by topology
 	// distance. Zero for serial runs and per-query pools.
 	Sched SchedStats
+	// CompressedCols counts the compressed column inputs the run's
+	// operators consumed; CompressedBytes the encoded bytes they read;
+	// CompressedSavedBytes the raw bytes that traffic replaced
+	// (accumulated per decode pass — bus traffic avoided, not storage);
+	// DecodeTime the wall time spent inside block-decode loops. All
+	// zero unless the run executed compressed (JoinQuery.Compression).
+	CompressedCols       int64
+	CompressedBytes      int64
+	CompressedSavedBytes int64
+	DecodeTime           time.Duration
 }
 
 // Result is a completed project-join. Columns appear in result order:
@@ -180,6 +220,9 @@ type Result struct {
 	// paper's serial mode, n >= 1 = the morsel-driven executor with n
 	// workers.
 	Workers int
+	// Compressed records the planner's representation decision: true
+	// when the run executed over block-compressed column images.
+	Compressed bool
 	// Trace holds the query's recorded span events when
 	// JoinQuery.Trace was set (nil otherwise); render it with
 	// Trace.WriteJSON or merge several with WriteTraces.
@@ -211,7 +254,10 @@ func ProjectJoin(q JoinQuery) (*Result, error) {
 	if q.Larger == nil || q.Smaller == nil {
 		return nil, fmt.Errorf("radixdecluster: both relations are required")
 	}
-	cfg := strategy.Config{Hier: q.Hier.internal(), Parallelism: q.Parallelism, Runtime: q.execRuntime()}
+	cfg := strategy.Config{
+		Hier: q.Hier.internal(), Parallelism: q.Parallelism, Runtime: q.execRuntime(),
+		Compress: strategy.CompressMode(q.Compression),
+	}
 	st := q.Strategy
 	if st == AutoStrategy {
 		st = DSMPostDecluster
@@ -225,11 +271,11 @@ func ProjectJoin(q JoinQuery) (*Result, error) {
 	}
 	switch st {
 	case DSMPostDecluster, DSMPre:
-		l, err := dsmSide(q.Larger, q.LargerKey, q.LargerProject)
+		l, err := dsmSide(q.Larger, q.LargerKey, q.LargerProject, q.Compression)
 		if err != nil {
 			return nil, err
 		}
-		s, err := dsmSide(q.Smaller, q.SmallerKey, q.SmallerProject)
+		s, err := dsmSide(q.Smaller, q.SmallerKey, q.SmallerProject, q.Compression)
 		if err != nil {
 			return nil, err
 		}
@@ -244,11 +290,11 @@ func ProjectJoin(q JoinQuery) (*Result, error) {
 		}
 		return buildResult(q, res, cfg.Trace)
 	case NSMPreHash, NSMPrePhash, NSMPostDecluster, NSMPostJive:
-		l, err := nsmSide(q.Larger, q.LargerKey, q.LargerProject)
+		l, err := nsmSide(q.Larger, q.LargerKey, q.LargerProject, q.Compression)
 		if err != nil {
 			return nil, err
 		}
-		s, err := nsmSide(q.Smaller, q.SmallerKey, q.SmallerProject)
+		s, err := nsmSide(q.Smaller, q.SmallerKey, q.SmallerProject, q.Compression)
 		if err != nil {
 			return nil, err
 		}
@@ -271,7 +317,7 @@ func ProjectJoin(q JoinQuery) (*Result, error) {
 	return nil, fmt.Errorf("radixdecluster: unknown strategy %v", q.Strategy)
 }
 
-func dsmSide(r *Relation, key string, proj []string) (strategy.DSMSide, error) {
+func dsmSide(r *Relation, key string, proj []string, comp Compression) (strategy.DSMSide, error) {
 	keys, err := r.Column(key)
 	if err != nil {
 		return strategy.DSMSide{}, err
@@ -284,10 +330,22 @@ func dsmSide(r *Relation, key string, proj []string) (strategy.DSMSide, error) {
 	for i := range oids {
 		oids[i] = OID(i)
 	}
-	return strategy.DSMSide{OIDs: oids, Keys: keys, Cols: cols, BaseN: r.Len()}, nil
+	side := strategy.DSMSide{OIDs: oids, Keys: keys, Cols: cols, BaseN: r.Len()}
+	if comp != CompressionOff && r.compressed {
+		encs, err := r.encodings()
+		if err != nil {
+			return strategy.DSMSide{}, err
+		}
+		side.KeysEnc = encs[key]
+		side.ColsEnc = make([]*compress.Encoded, len(proj))
+		for i, p := range proj {
+			side.ColsEnc[i] = encs[p]
+		}
+	}
+	return side, nil
 }
 
-func nsmSide(r *Relation, key string, proj []string) (strategy.NSMSide, error) {
+func nsmSide(r *Relation, key string, proj []string, comp Compression) (strategy.NSMSide, error) {
 	// The NSM image of the relation — record scans will read the wide
 	// rows, as a row store would — is built once per Relation and
 	// shared by every query (nsmImage), so concurrent queries present
@@ -319,24 +377,38 @@ func nsmSide(r *Relation, key string, proj []string) (strategy.NSMSide, error) {
 	if err != nil {
 		return strategy.NSMSide{}, err
 	}
-	return strategy.NSMSide{Rel: rel, KeyCol: keyIdx, ProjCols: projIdx}, nil
+	side := strategy.NSMSide{Rel: rel, KeyCol: keyIdx, ProjCols: projIdx}
+	if comp != CompressionOff && r.compressed {
+		if side.Enc, err = r.recordEncoding(); err != nil {
+			return strategy.NSMSide{}, err
+		}
+	}
+	return side, nil
 }
 
 func buildResult(q JoinQuery, res *strategy.Result, tr *obs.Trace) (*Result, error) {
 	out := &Result{
-		N:       res.N,
-		Workers: res.Workers,
+		N:          res.N,
+		Workers:    res.Workers,
+		Compressed: res.Compressed,
 		Timing: Timing{
 			Scan: res.Phases.Scan, Join: res.Phases.Join, ReorderJI: res.Phases.ReorderJI,
 			ProjectLarger: res.Phases.ProjectLarger, ProjectSmaller: res.Phases.ProjectSmaller,
 			Decluster: res.Phases.Decluster, Queue: res.Phases.Queue, Total: res.Phases.Total,
-			SharedScanHits: res.Phases.SharedScanHits,
-			Sched:          schedFromExec(res.Phases.Sched),
+			SharedScanHits:       res.Phases.SharedScanHits,
+			Sched:                schedFromExec(res.Phases.Sched),
+			CompressedCols:       res.Phases.Comp.Cols,
+			CompressedBytes:      res.Phases.Comp.CompressedBytes,
+			CompressedSavedBytes: res.Phases.Comp.SavedBytes,
+			DecodeTime:           time.Duration(res.Phases.Comp.DecodeNanos),
 		},
 		Plan: fmt.Sprintf("joinbits=%d largerbits=%d smallerbits=%d window=%d methods=%c/%c workers=%d",
 			res.JoinBits, res.LargerBits, res.SmallerBits, res.Window,
 			printable(byte(res.LargerMethod)), printable(byte(res.SmallerMethod)), res.Workers),
 		runInfo: res,
+	}
+	if res.Compressed {
+		out.Plan += " compressed=true"
 	}
 	for _, n := range q.LargerProject {
 		out.Names = append(out.Names, q.Larger.Name+"."+n)

@@ -60,6 +60,7 @@ import (
 
 	"radixdecluster/internal/bat"
 	"radixdecluster/internal/calibrator"
+	"radixdecluster/internal/compress"
 	"radixdecluster/internal/mem"
 	"radixdecluster/internal/nsm"
 )
@@ -159,6 +160,31 @@ type Relation struct {
 	nsmOnce sync.Once
 	nsmRel  *nsm.Relation
 	nsmErr  error
+
+	// compressed marks relations built with WithCompression: queries
+	// running with JoinQuery.Compression enabled may execute over
+	// block-compressed column images, built lazily on first use and
+	// shared by all queries (like the NSM image). The raw column slices
+	// always coexist — compression is an execution-format option, never
+	// a storage replacement — so results are byte-identical either way.
+	compressed bool
+	encOnce    sync.Once
+	colEnc     map[string]*compress.Encoded
+	encErr     error
+	recOnce    sync.Once
+	recEnc     *compress.Encoded
+	recErr     error
+}
+
+// RelationOption configures NewRelationOpts.
+type RelationOption func(*Relation)
+
+// WithCompression builds block-compressed images of the relation's
+// columns (and, for NSM strategies, its record image) lazily on first
+// compressed query. Columns the encoder cannot shrink simply stay
+// raw-only. Queries opt in per run via JoinQuery.Compression.
+func WithCompression() RelationOption {
+	return func(r *Relation) { r.compressed = true }
 }
 
 // NewRelation builds a relation from columns (not copied). The column
@@ -177,6 +203,23 @@ func NewRelation(name string, cols ...Column) (*Relation, error) {
 	}
 	return &Relation{Name: name, tab: t}, nil
 }
+
+// NewRelationOpts is NewRelation with options (the column slices are
+// not copied; see NewRelation's no-mutation-after-query contract).
+func NewRelationOpts(name string, cols []Column, opts ...RelationOption) (*Relation, error) {
+	r, err := NewRelation(name, cols...)
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r, nil
+}
+
+// Compressed reports whether the relation was built with
+// WithCompression.
+func (r *Relation) Compressed() bool { return r.compressed }
 
 // Len returns the cardinality.
 func (r *Relation) Len() int { return r.tab.Len() }
@@ -220,6 +263,65 @@ func (r *Relation) nsmImage() (*nsm.Relation, error) {
 		r.nsmRel, r.nsmErr = nsm.FromColumns(r.Name, cols...)
 	})
 	return r.nsmRel, r.nsmErr
+}
+
+// encodings returns the relation's per-column block-compressed images
+// (nil for relations built without WithCompression), building them on
+// first use. Incompressible or empty columns have no entry.
+func (r *Relation) encodings() (map[string]*compress.Encoded, error) {
+	if !r.compressed {
+		return nil, nil
+	}
+	r.encOnce.Do(func() {
+		r.colEnc = make(map[string]*compress.Encoded, r.Width())
+		for _, n := range r.ColumnNames() {
+			vals, err := r.Column(n)
+			if err != nil {
+				r.encErr = err
+				return
+			}
+			if len(vals) == 0 {
+				continue
+			}
+			e, err := compress.EncodeBest(vals)
+			if err != nil {
+				r.encErr = err
+				return
+			}
+			if e.Ratio() < 1 {
+				r.colEnc[n] = e
+			}
+		}
+	})
+	return r.colEnc, r.encErr
+}
+
+// recordEncoding returns the block-compressed image of the relation's
+// row-major record array (nil when absent or incompressible), built on
+// first NSM-strategy compressed use.
+func (r *Relation) recordEncoding() (*compress.Encoded, error) {
+	if !r.compressed {
+		return nil, nil
+	}
+	r.recOnce.Do(func() {
+		rel, err := r.nsmImage()
+		if err != nil {
+			r.recErr = err
+			return
+		}
+		if len(rel.Data) == 0 {
+			return
+		}
+		e, err := compress.EncodeBest(rel.Data)
+		if err != nil {
+			r.recErr = err
+			return
+		}
+		if e.Ratio() < 1 {
+			r.recEnc = e
+		}
+	})
+	return r.recEnc, r.recErr
 }
 
 func (r *Relation) columns(names []string) ([][]int32, error) {
