@@ -7,8 +7,16 @@
 //
 //	{
 //	  "cores": 4, "gomaxprocs": 4, "go": "go1.24.0",
-//	  "ns_per_op": {"BenchmarkProjectJoinParallel/workers=2": 123456.0, ...}
+//	  "ns_per_op": {"BenchmarkProjectJoinParallel/workers=2": 123456.0, ...},
+//	  "bytes_per_op": {...}, "allocs_per_op": {...}
 //	}
+//
+// When the run carried -benchmem, the B/op and allocs/op columns are
+// recorded the same way (minimum per benchmark), and the baseline gate
+// additionally fails any benchmark whose name contains "Concurrent"
+// when its allocs/op grows by more than -maxallocregress — the
+// execution arena's zero-alloc steady state is a gated contract, not
+// an aspiration.
 //
 // Benchmark names are normalized by stripping the trailing -GOMAXPROCS
 // suffix, so records from machines with different core counts key
@@ -58,11 +66,23 @@ type Report struct {
 	GOMAXPROCS int                `json:"gomaxprocs"`
 	GoVersion  string             `json:"go"`
 	NsPerOp    map[string]float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp mirror NsPerOp for the -benchmem
+	// columns, present when the bench run carried them. Allocation
+	// counts are wall-clock-independent, so the allocs gate holds on
+	// any runner shape — it still keys off the matching-cores record
+	// because concurrency (and so per-op query counts) follows cores.
+	BytesPerOp  map[string]float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
 }
 
 // benchLine matches `BenchmarkName-8   3   123456 ns/op ...` and
 // captures the name without the -GOMAXPROCS suffix.
 var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?\d+)?) ns/op`)
+
+// memCols matches the -benchmem tail of a result line. The MB/s
+// column may or may not sit between ns/op and B/op, so the tail is
+// matched on its own.
+var memCols = regexp.MustCompile(`([0-9.]+(?:e[+-]?\d+)?) B/op\s+([0-9.]+(?:e[+-]?\d+)?) allocs/op`)
 
 // sameRunChecks collects repeatable -samerun flags of the form
 // "slowName|fastName|limit": fail unless ns(slowName) <= limit *
@@ -79,6 +99,7 @@ func main() {
 	label := flag.String("label", "", "name for this record's runner (stored in the JSON, e.g. ci-ubuntu-latest-4core)")
 	baseline := flag.String("baseline", "", "baseline JSON record to gate against (empty = record only)")
 	maxRegress := flag.Float64("maxregress", 0.25, "fail when a benchmark is slower than baseline by more than this fraction")
+	maxAllocRegress := flag.Float64("maxallocregress", 0.25, "fail when a Concurrent benchmark's allocs/op grows over baseline by more than this fraction")
 	var sameRun sameRunChecks
 	flag.Var(&sameRun, "samerun", "repeatable same-run ratio gate 'slowName|fastName|limit': fail unless ns(slow) <= limit*ns(fast)")
 	flag.Parse()
@@ -89,6 +110,7 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		GoVersion:  runtime.Version(),
 		NsPerOp:    map[string]float64{},
+		BytesPerOp: map[string]float64{}, AllocsPerOp: map[string]float64{},
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -105,6 +127,18 @@ func main() {
 		}
 		if prev, ok := rep.NsPerOp[m[1]]; !ok || ns < prev {
 			rep.NsPerOp[m[1]] = ns
+		}
+		if mm := memCols.FindStringSubmatch(line); mm != nil {
+			if b, err := strconv.ParseFloat(mm[1], 64); err == nil {
+				if prev, ok := rep.BytesPerOp[m[1]]; !ok || b < prev {
+					rep.BytesPerOp[m[1]] = b
+				}
+			}
+			if a, err := strconv.ParseFloat(mm[2], 64); err == nil {
+				if prev, ok := rep.AllocsPerOp[m[1]]; !ok || a < prev {
+					rep.AllocsPerOp[m[1]] = a
+				}
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -186,6 +220,24 @@ func main() {
 			regressions++
 		} else {
 			fmt.Fprintf(os.Stderr, "benchjson: ok %s: %.2fx baseline\n", name, ratio)
+		}
+		// Allocation gate: steady-state allocs/op of the concurrent
+		// benchmarks is the arena's zero-alloc contract; growth there
+		// means recycling broke even if wall-clock hasn't moved yet.
+		if !strings.Contains(name, "Concurrent") {
+			continue
+		}
+		ballocs, okB := base.AllocsPerOp[name]
+		allocs, okA := rep.AllocsPerOp[name]
+		if !okB || !okA || ballocs <= 0 {
+			continue // one side ran without -benchmem: nothing to gate
+		}
+		if aratio := allocs / ballocs; aratio > 1+*maxAllocRegress {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.0f allocs/op vs baseline %.0f (%.0f%% more, limit %.0f%%)\n",
+				name, allocs, ballocs, (aratio-1)*100, *maxAllocRegress*100)
+			regressions++
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: ok %s: %.2fx baseline allocs/op\n", name, allocs/ballocs)
 		}
 	}
 	for name := range base.NsPerOp {

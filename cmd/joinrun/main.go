@@ -36,6 +36,14 @@
 // least N compressed column inputs — the CI assertion that compressed
 // execution genuinely engaged.
 //
+// Memory flags: concurrent runs print each query's execution-arena
+// accounting (bytes leased, the recycled share, the high-water
+// transient footprint) and the runtime-wide pool counters; -mempooloff
+// disables the arena (every transient buffer allocates fresh), and
+// -minpoolhit F exits non-zero unless the arena's buffer hit rate
+// reaches F — the CI assertion that steady-state recycling genuinely
+// engaged.
+//
 // Observability flags: -traceout FILE records every query's execution
 // as span events and writes one merged Chrome trace-event JSON
 // document, loadable in Perfetto (ui.perfetto.dev); -metricsaddr ADDR
@@ -87,6 +95,8 @@ func main() {
 	schedStats := flag.Bool("schedstats", false, "print affinity-scheduler counters (local hits, steals by distance) per query and runtime-wide")
 	minLocal := flag.Int("minlocal", 0, "fail (exit 1) unless the runtime records at least this many local-hit morsels")
 	minLocalRate := flag.Float64("minlocalrate", 0, "fail (exit 1) unless the runtime's local-hit rate reaches this fraction")
+	memPoolOff := flag.Bool("mempooloff", false, "disable the shared runtime's execution-memory arena (every transient buffer allocates fresh)")
+	minPoolHit := flag.Float64("minpoolhit", 0, "fail (exit 1) unless the arena's buffer hit rate reaches this fraction")
 	baseline := flag.Bool("baseline", false, "with -concurrency > 1: also run the queries sequentially on per-query pools and report the speedup")
 	traceOut := flag.String("traceout", "", "write the run's execution trace(s) as Chrome trace-event JSON to this file (open in Perfetto)")
 	metricsAddr := flag.String("metricsaddr", "", "serve the shared runtime's Prometheus metrics and pprof on this address (e.g. :9090 or 127.0.0.1:0) and self-scrape once after the run")
@@ -160,6 +170,9 @@ func main() {
 		if *metricsAddr != "" || *minCounters > 0 || *pprofLabels {
 			fail(fmt.Errorf("-metricsaddr/-mincounters/-pproflabels require -concurrency > 1 (metrics and labels live on the shared runtime)"))
 		}
+		if *memPoolOff || *minPoolHit > 0 {
+			fail(fmt.Errorf("-mempooloff/-minpoolhit require -concurrency > 1 (the arena assertion targets the shared runtime)"))
+		}
 		cfg := strategy.Config{Hier: mem.Pentium4(), Parallelism: *parallel}
 		var tr *obs.Trace
 		if *traceOut != "" {
@@ -220,7 +233,8 @@ func main() {
 	}
 	rt := exec.NewRuntimeOpts(exec.Options{MaxConcurrent: admit, ShareScans: *share,
 		Steal: steal, PinWorkers: *pin,
-		Metrics: *metricsAddr != "", PprofLabels: *pprofLabels})
+		Metrics: *metricsAddr != "", PprofLabels: *pprofLabels,
+		MemPoolOff: *memPoolOff})
 	defer rt.Close()
 	topo := rt.Topology()
 	fmt.Printf("shared runtime: %d workers, admission bound %d (%s), scan sharing %v, steal %v, topology %s (%d cpus, %d nodes), pinned %d\n",
@@ -286,6 +300,10 @@ func main() {
 		if *schedStats {
 			fmt.Printf("query %d sched: %v\n", i, o.res.Phases.Sched)
 		}
+		if m := o.res.Phases.Mem; m.Acquired > 0 {
+			fmt.Printf("query %d memory: acquired=%dB reused=%dB (%.0f%%) high-water=%dB\n",
+				i, m.Acquired, m.Reused, 100*float64(m.Reused)/float64(m.Acquired), m.HighWater)
+		}
 	}
 	agg := float64(total) / wall.Seconds()
 	fmt.Printf("concurrent: %d queries on the shared runtime in %v (%.0f tuples/s aggregate, %d shared-scan hits)\n",
@@ -317,8 +335,17 @@ func main() {
 	if comp.Cols < int64(*minCompressed) {
 		fail(fmt.Errorf("compressed column inputs %d below required -mincompressed %d", comp.Cols, *minCompressed))
 	}
+	if rt.MemPooled() {
+		ms := rt.MemStats()
+		fmt.Printf("memory: %v\n", ms)
+	}
 	if hits := rt.SharedScanHits(); hits < int64(*minShared) {
 		fail(fmt.Errorf("shared-scan hits %d below required -minshared %d", hits, *minShared))
+	}
+	if *minPoolHit > 0 {
+		if rate := rt.MemStats().HitRate(); rate < *minPoolHit {
+			fail(fmt.Errorf("arena hit rate %.2f below required -minpoolhit %.2f (%v)", rate, *minPoolHit, rt.MemStats()))
+		}
 	}
 	if sched.LocalHits < int64(*minLocal) {
 		fail(fmt.Errorf("local-hit morsels %d below required -minlocal %d", sched.LocalHits, *minLocal))

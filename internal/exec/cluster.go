@@ -35,6 +35,7 @@ import (
 	"radixdecluster/internal/bat"
 	"radixdecluster/internal/hash"
 	"radixdecluster/internal/mem"
+	"radixdecluster/internal/mempool"
 	"radixdecluster/internal/radix"
 )
 
@@ -70,7 +71,10 @@ func (p *Pool) ClusterPairs(heads []OID, vals []int32, hashVals bool, o radix.Op
 	if p.serialPreferred(n, o.Bits) {
 		return radix.ClusterPairs(heads, vals, hashVals, o)
 	}
-	rad := make([]uint32, n)
+	// All transients below come off the query's arena lease (dirty;
+	// every slot is fully written by the hash/scatter passes).
+	ml := p.Mem()
+	rad := mempool.Slice[uint32](ml, n)
 	chunks := p.chunksFor(n)
 	p.Run(len(chunks), func(_, t int, _ *Scratch) {
 		r := chunks[t]
@@ -84,14 +88,14 @@ func (p *Pool) ClusterPairs(heads []OID, vals []int32, hashVals bool, o radix.Op
 			}
 		}
 	})
-	outHeads := make([]OID, n)
-	outVals := make([]int32, n)
+	outHeads := mempool.Slice[OID](ml, n)
+	outVals := mempool.Slice[int32](ml, n)
 	move := func(i, d int) { outHeads[d], outVals[d] = heads[i], vals[i] }
 	var outRad []uint32
 	if o.Bits > maxFirstPassBits {
 		// The radix values scatter alongside the payload so the
 		// level-2 refinement reuses them instead of re-hashing.
-		outRad = make([]uint32, n)
+		outRad = mempool.Slice[uint32](ml, n)
 		move = func(i, d int) { outHeads[d], outVals[d], outRad[d] = heads[i], vals[i], rad[i] }
 	}
 	offsets, err := p.scatter2(rad, chunks, o, move,
@@ -125,8 +129,10 @@ func (p *Pool) ClusterOIDPairs(key, other []OID, o radix.Opts) (*radix.OIDPairsR
 		return radix.ClusterOIDPairs(key, other, o)
 	}
 	// Dense oids are their own radix values (§3.1): no hashing pass.
-	outKey := make([]OID, n)
-	outOther := make([]OID, n)
+	// Scatter targets are leased transients, fully written.
+	ml := p.Mem()
+	outKey := mempool.Slice[OID](ml, n)
+	outOther := mempool.Slice[OID](ml, n)
 	offsets, err := p.scatter2(key, p.chunksFor(n), o,
 		func(i, d int) { outKey[d], outOther[d] = key[i], other[i] },
 		func(lo, hi int, sub radix.Opts) ([]int, error) {
@@ -153,7 +159,7 @@ func (p *Pool) SortOIDPairs(key, other []OID, h mem.Hierarchy) (*radix.OIDPairsR
 		return radix.SortOIDPairs(key, other, h)
 	}
 	chunks := p.chunksFor(len(key))
-	maxs := make([]OID, len(chunks))
+	maxs := mempool.Slice[OID](p.Mem(), len(chunks))
 	p.Run(len(chunks), func(_, t int, _ *Scratch) {
 		m := OID(0)
 		for _, k := range key[chunks[t].Lo:chunks[t].Hi] {
@@ -212,8 +218,8 @@ func (p *Pool) prefixSumChunksParallel(counts []int, h, nch int) []int {
 	if p.workers == 1 || h*nch < MinParallelN {
 		return prefixSumChunks(counts, h, nch)
 	}
-	totals := make([]int, h)
-	cchunks := Chunks(h, p.workers*morselsPerWorker)
+	totals := mempool.Slice[int](p.Mem(), h)
+	cchunks := p.chunksFor(h)
 	p.Run(len(cchunks), func(_, t int, _ *Scratch) {
 		for c := cchunks[t].Lo; c < cchunks[t].Hi; c++ {
 			s := 0
@@ -286,9 +292,13 @@ func (p *Pool) scatter2(rad []uint32, chunks []Range, o radix.Opts,
 	}
 
 	// Pass 1: per-chunk histograms (each task owns one row of counts).
-	counts := make([]int, nch*h1)
+	// Leased buffers arrive dirty, so each task zeroes its own row.
+	counts := mempool.Slice[int](p.Mem(), nch*h1)
 	p.Run(nch, func(_, t int, _ *Scratch) {
 		row := counts[t*h1 : (t+1)*h1]
+		for i := range row {
+			row[i] = 0
+		}
 		for i := chunks[t].Lo; i < chunks[t].Hi; i++ {
 			row[(rad[i]>>sh)&mask]++
 		}
@@ -317,10 +327,10 @@ func (p *Pool) scatter2(rad []uint32, chunks []Range, o radix.Opts,
 	// Level 2: refine each level-1 partition on the remaining low bits.
 	// Partitions are disjoint output ranges — independent morsels.
 	h2 := 1 << rem
-	offsets := make([]int, (h1<<rem)+1)
+	offsets := mempool.Slice[int](p.Mem(), (h1<<rem)+1)
 	offsets[h1<<rem] = n
 	sub := radix.Opts{Bits: rem, Ignore: o.Ignore, Passes: radix.SplitBits(rem, maxFirstPassBits)}
-	errs := make([]error, h1)
+	errs := p.errSlots(h1)
 	p.Run(h1, func(_, c int, _ *Scratch) {
 		lo, hi := off1[c], off1[c+1]
 		subOff, err := refine(lo, hi, sub)

@@ -319,7 +319,7 @@ func (e *Engine) FetchManyCols(cols []Col, oids []OID) ([][]int32, error) {
 	}
 	chunks := e.pool.chunksFor(len(oids))
 	ntasks := len(cols) * len(chunks)
-	errs := make([]error, ntasks)
+	errs := e.pool.errSlots(ntasks)
 	e.pool.RunAff(ntasks, func(t int) uint64 { return uint64(t % len(chunks)) }, func(_, t int, s *Scratch) {
 		c, r := t/len(chunks), chunks[t%len(chunks)]
 		if err := e.fetchColInto(out[c][r.Lo:r.Hi], cols[c], oids[r.Lo:r.Hi], s.decoder()); err != nil {
@@ -362,7 +362,7 @@ func (e *Engine) ClusteredCol(col Col, oids []OID, borders []bat.Border) ([]int3
 		return out, nil
 	}
 	groups := groupBorders(borders, e.pool.workers*morselsPerWorker, len(oids))
-	errs := make([]error, len(groups))
+	errs := e.pool.errSlots(len(groups))
 	e.pool.Run(len(groups), func(_, t int, s *Scratch) {
 		d := s.decoder()
 		for _, b := range borders[groups[t].Lo:groups[t].Hi] {

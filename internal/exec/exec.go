@@ -76,8 +76,19 @@ import (
 	"sync/atomic"
 	"time"
 
+	"radixdecluster/internal/join"
+	"radixdecluster/internal/mempool"
 	"radixdecluster/internal/obs"
 )
+
+// sharedArena is the process-wide execution-memory pool (mempool):
+// every query's transient buffers — scatter targets, match lists,
+// histograms, table scratch — are leased from it and recycled at
+// query end, so a warmed-up executor's steady state stays off the GC.
+var sharedArena = mempool.New(0)
+
+// SharedArena exposes the process-wide arena (stats, limit tuning).
+func SharedArena() *mempool.Pool { return sharedArena }
 
 // Pool is the worker handle every parallel operator runs on. It comes
 // in two modes:
@@ -102,7 +113,9 @@ type Pool struct {
 	rt      *Runtime // runtime-backed mode; nil when owned
 	affSeed uint64   // placement-hash salt (runtime-backed mode)
 	mu      sync.Mutex
-	ls      *lease // admitted lease; acquired lazily on first Run
+	ls      *lease         // admitted lease; acquired lazily on first Run
+	memLs   *mempool.Lease // per-query buffer lease; opened on first use
+	errbuf  []error        // reusable operator error slots (phases are sequential)
 
 	sharedHits atomic.Int64 // scans served by another pipeline's pass
 
@@ -150,6 +163,15 @@ func (p *Pool) Workers() int { return p.workers }
 // idle) or releases the runtime lease (runtime-backed mode).
 func (p *Pool) Close() {
 	if p.closed.CompareAndSwap(false, true) {
+		p.mu.Lock()
+		ml := p.memLs
+		p.memLs = nil
+		p.mu.Unlock()
+		if ml != nil {
+			// The one-call release: every transient buffer the query
+			// checked out goes back to the arena together.
+			ml.Release()
+		}
 		if p.rt != nil {
 			p.mu.Lock()
 			ls := p.ls
@@ -162,6 +184,64 @@ func (p *Pool) Close() {
 		}
 		close(p.jobs)
 	}
+}
+
+// arena returns the mempool backing this pool's leases: the runtime's
+// (nil when its pooling is disabled), or the process-wide arena for
+// owned per-query pools.
+func (p *Pool) arena() *mempool.Pool {
+	if p.rt != nil {
+		return p.rt.mem
+	}
+	return sharedArena
+}
+
+// Mem returns the pool's per-query buffer lease, opening it on first
+// use. nil when pooling is off (runtime Options.MemPoolOff) or the
+// pool is closed — every acquisition helper treats a nil lease as
+// "allocate from the GC", the escape hatch.
+func (p *Pool) Mem() *mempool.Lease {
+	a := p.arena()
+	if a == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed.Load() {
+		return nil
+	}
+	if p.memLs == nil {
+		p.memLs = a.NewLease()
+	}
+	return p.memLs
+}
+
+// memStats snapshots the query's lease accounting (zero when pooling
+// is off or nothing was acquired).
+func (p *Pool) memStats() mempool.LeaseStats {
+	p.mu.Lock()
+	ml := p.memLs
+	p.mu.Unlock()
+	if ml == nil {
+		return mempool.LeaseStats{}
+	}
+	return ml.Stats()
+}
+
+// errSlots returns a zeroed n-slot error slice reused across the
+// pool's operator invocations. Safe because phase bodies and operator
+// calls on one pool are strictly sequential (the Run contract forbids
+// nesting); only the slice's slots are written concurrently, by
+// disjoint tasks.
+func (p *Pool) errSlots(n int) []error {
+	if cap(p.errbuf) < n {
+		p.errbuf = make([]error, n)
+	}
+	e := p.errbuf[:n]
+	for i := range e {
+		e[i] = nil
+	}
+	return e
 }
 
 // attach acquires the pool's runtime lease, blocking on admission
@@ -259,7 +339,7 @@ func (p *Pool) schedStats() SchedStats {
 }
 
 func (p *Pool) worker(id int) {
-	s := &Scratch{}
+	s := &Scratch{cache: sharedArena.NewCache()}
 	for j := range p.jobs {
 		for {
 			t := j.next.Add(1) - 1
@@ -322,8 +402,21 @@ func (p *Pool) RunAff(ntasks int, aff func(task int) uint64, fn func(worker, tas
 // allocation-free across morsels. Buffers grow monotonically and are
 // reused for the lifetime of the worker.
 type Scratch struct {
-	ints []int
-	dec  *decoder // compressed-column scratch (compressed.go), lazy
+	ints  []int
+	dec   *decoder          // compressed-column scratch (compressed.go), lazy
+	cache *mempool.Cache    // worker-local arena stash (nil = pooling off)
+	tjoin join.TableScratch // partition hash-table build scratch
+	rows  []int32           // per-morsel row staging (pre-projection probes)
+}
+
+// Rows returns a length-0 []int32 with at least the given capacity,
+// reused across the worker's morsels (contents appended then copied
+// out each morsel).
+func (s *Scratch) Rows(capHint int) []int32 {
+	if cap(s.rows) < capHint {
+		s.rows = make([]int32, 0, capHint)
+	}
+	return s.rows[:0]
 }
 
 // Ints returns a zeroed []int of length n, reusing the worker's
@@ -379,9 +472,32 @@ func Chunks(n, k int) []Range {
 // bookkeeping stays negligible.
 const morselsPerWorker = 8
 
-// chunksFor picks the chunking of an n-item range for this pool.
+// chunksFor picks the chunking of an n-item range for this pool. The
+// slice is leased from the query's arena checkout (Range is pointer-
+// free) and fully written here, so recycled dirt never shows.
 func (p *Pool) chunksFor(n int) []Range {
-	return Chunks(n, p.workers*morselsPerWorker)
+	if n <= 0 {
+		return nil
+	}
+	k := p.workers * morselsPerWorker
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	out := mempool.Slice[Range](p.Mem(), k)
+	base, rem := n/k, n%k
+	lo := 0
+	for i := range out {
+		hi := lo + base
+		if i < rem {
+			hi++
+		}
+		out[i] = Range{Lo: lo, Hi: hi}
+		lo = hi
+	}
+	return out
 }
 
 // firstErr returns the first non-nil error in task order, so parallel

@@ -15,6 +15,7 @@ import (
 	"radixdecluster/internal/bat"
 	"radixdecluster/internal/jive"
 	"radixdecluster/internal/join"
+	"radixdecluster/internal/mempool"
 	"radixdecluster/internal/nsm"
 )
 
@@ -38,11 +39,16 @@ func (p *Pool) JiveLeftRows(ji *join.Index, left *nsm.Relation, leftCols []int, 
 	chunks := p.chunksFor(n)
 	nch := len(chunks)
 
-	// Pass 1: per-chunk histograms.
-	counts := make([]int, nch*h)
-	errs := make([]error, nch)
+	// Pass 1: per-chunk histograms. The leased counts arrive dirty, so
+	// each task zeroes its own row before counting into it.
+	counts := mempool.Slice[int](p.Mem(), nch*h)
+	errs := p.errSlots(nch)
 	p.Run(nch, func(_, t int, _ *Scratch) {
-		errs[t] = jive.CountRowsChunk(counts[t*h:(t+1)*h], ji.Smaller, shift, rightLen,
+		row := counts[t*h : (t+1)*h]
+		for i := range row {
+			row[i] = 0
+		}
+		errs[t] = jive.CountRowsChunk(row, ji.Smaller, shift, rightLen,
 			chunks[t].Lo, chunks[t].Hi)
 	})
 	if err := firstErr(errs); err != nil {
@@ -78,7 +84,7 @@ func (p *Pool) JiveRightRows(lr *jive.LeftRowsResult, right *nsm.Relation, right
 	out := nsm.New(right.Name+"_proj", n, len(rightCols))
 	borders := bat.BordersFromOffsets(lr.Borders)
 	groups := groupBorders(borders, p.workers*morselsPerWorker, n)
-	errs := make([]error, len(groups))
+	errs := p.errSlots(len(groups))
 	p.Run(len(groups), func(_, t int, _ *Scratch) {
 		var perm []int // sort scratch reused across the group's clusters
 		for c := groups[t].Lo; c < groups[t].Hi; c++ {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"radixdecluster/internal/join"
+	"radixdecluster/internal/mempool"
 	"radixdecluster/internal/radix"
 )
 
@@ -45,20 +46,36 @@ func (p *Pool) Partitioned(largerOIDs []OID, largerKeys []int32, smallerOIDs []O
 	// private caches from the clustering refinement.
 	l1 := level1Shift(o.Bits)
 	aff := func(pt int) uint64 { return uint64(pt) >> l1 }
+
+	// parts holds slice headers the GC must scan, so it stays a plain
+	// allocation; the match-list *backing* is leased. Each partition's
+	// list is carved from two big arenas at its larger-side offset with
+	// a hard cap (three-index), so appends stay disjoint and an
+	// overflowing partition (duplicate smaller keys) falls back to a
+	// private GC slice instead of clobbering its neighbour.
+	ml := p.Mem()
+	bigL := mempool.Slice[OID](ml, len(largerOIDs))
+	bigS := mempool.Slice[OID](ml, len(largerOIDs))
 	parts := make([]join.Index, h)
-	p.RunAff(h, aff, func(_, pt int, _ *Scratch) {
+	for pt := 0; pt < h; pt++ {
+		ll, lh := cl.Offsets[pt], cl.Offsets[pt+1]
+		parts[pt].Larger = bigL[ll:ll:lh]
+		parts[pt].Smaller = bigS[ll:ll:lh]
+	}
+	p.RunAff(h, aff, func(_, pt int, s *Scratch) {
 		ll, lh := cl.Offsets[pt], cl.Offsets[pt+1]
 		sl, sh := cs.Offsets[pt], cs.Offsets[pt+1]
 		if ll == lh || sl == sh {
 			return
 		}
-		join.ProbePartition(cs.Heads[sl:sh], cs.Vals[sl:sh],
-			cl.Heads[ll:lh], cl.Vals[ll:lh], shift, &parts[pt])
+		join.ProbePartitionScratch(cs.Heads[sl:sh], cs.Vals[sl:sh],
+			cl.Heads[ll:lh], cl.Vals[ll:lh], shift, &parts[pt], &s.tjoin)
 	})
 
 	// Stitch in partition order: prefix-sum the match counts, then
 	// copy each partition's list into its disjoint output range.
-	offs := make([]int, h+1)
+	offs := mempool.Slice[int](ml, h+1)
+	offs[0] = 0
 	for pt := 0; pt < h; pt++ {
 		offs[pt+1] = offs[pt] + parts[pt].Len()
 	}

@@ -35,6 +35,7 @@ import (
 	"radixdecluster/internal/core"
 	"radixdecluster/internal/join"
 	"radixdecluster/internal/mem"
+	"radixdecluster/internal/mempool"
 	"radixdecluster/internal/obs"
 	"radixdecluster/internal/posjoin"
 	"radixdecluster/internal/radix"
@@ -114,6 +115,12 @@ type Timings struct {
 	// traffic replaced, and wall time inside block-decode loops. Zero
 	// when every input executed raw.
 	Comp CompStats
+	// Mem is the query's execution-memory accounting: bytes of
+	// transient buffers freshly allocated (Acquired) vs. served from
+	// the recycled arena (Reused), and the peak bytes checked out at
+	// once (HighWater). Zero on serial engines and when pooling is
+	// off (Options.MemPoolOff).
+	Mem mempool.LeaseStats
 }
 
 // Queue returns the total queueing time: admission wait plus the
@@ -258,6 +265,11 @@ func (p *Pipeline) Execute() (Timings, error) {
 	tm.SharedScanHits = p.eng.sharedScanHits()
 	tm.Sched = p.eng.schedStats()
 	tm.Comp = p.eng.comp.snapshot()
+	if p.eng.pool != nil {
+		// Snapshot before Close releases the lease: the accounting is
+		// the query's, the buffers go back to the arena.
+		tm.Mem = p.eng.pool.memStats()
+	}
 	if p.eng.pool != nil && p.eng.pool.rt != nil {
 		p.eng.pool.rt.compSaved.Add(tm.Comp.SavedBytes)
 		p.eng.pool.rt.compDecodeNanos.Add(tm.Comp.DecodeNanos)
@@ -355,7 +367,7 @@ func (e *Engine) ForRanges(n int, body func(r Range) error) error {
 		return body(Range{Lo: 0, Hi: n})
 	}
 	chunks := e.pool.chunksFor(n)
-	errs := make([]error, len(chunks))
+	errs := e.pool.errSlots(len(chunks))
 	e.pool.Run(len(chunks), func(_, t int, _ *Scratch) {
 		errs[t] = body(chunks[t])
 	})

@@ -34,7 +34,7 @@ func (p *Pool) FetchMany(cols [][]int32, oids []OID) ([][]int32, error) {
 	}
 	chunks := p.chunksFor(len(oids))
 	ntasks := len(cols) * len(chunks)
-	errs := make([]error, ntasks)
+	errs := p.errSlots(ntasks)
 	// The affinity key is the oid-range chunk, not the (column, chunk)
 	// task: every column's fetch of the same oid range homes on one
 	// worker, which then holds that range of the join-index hot across
@@ -63,7 +63,7 @@ func (p *Pool) Clustered(col []int32, oids []OID, borders []bat.Border) ([]int32
 	}
 	out := make([]int32, len(oids))
 	groups := groupBorders(borders, p.workers*morselsPerWorker, len(oids))
-	errs := make([]error, len(groups))
+	errs := p.errSlots(len(groups))
 	p.Run(len(groups), func(_, t int, _ *Scratch) {
 		for _, b := range borders[groups[t].Lo:groups[t].Hi] {
 			if err := posjoin.FetchInto(out[b.Start:b.End], col, oids[b.Start:b.End]); err != nil {
@@ -97,7 +97,7 @@ func (p *Pool) Decluster(values []int32, ids []OID, borders []bat.Border, window
 	}
 	result := make([]int32, n)
 	groups := groupBorders(borders, p.workers*morselsPerWorker, n)
-	errs := make([]error, len(groups))
+	errs := p.errSlots(len(groups))
 	p.Run(len(groups), func(_, t int, s *Scratch) {
 		errs[t] = declusterGroup(result, values, ids, borders[groups[t].Lo:groups[t].Hi], windowTuples, s)
 	})

@@ -16,6 +16,7 @@ import (
 	"radixdecluster/internal/core"
 	"radixdecluster/internal/hash"
 	"radixdecluster/internal/join"
+	"radixdecluster/internal/mempool"
 	"radixdecluster/internal/nsm"
 	"radixdecluster/internal/radix"
 )
@@ -49,7 +50,7 @@ func (p *Pool) ClusterRows(rows []int32, width, keyCol int, o radix.Opts) (*radi
 	if p.serialPreferred(n, o.Bits) {
 		return radix.ClusterRows(rows, width, keyCol, o)
 	}
-	rad := make([]uint32, n)
+	rad := mempool.Slice[uint32](p.Mem(), n)
 	chunks := p.chunksFor(n)
 	p.Run(len(chunks), func(_, t int, _ *Scratch) {
 		for i := chunks[t].Lo; i < chunks[t].Hi; i++ {
@@ -60,7 +61,7 @@ func (p *Pool) ClusterRows(rows []int32, width, keyCol int, o radix.Opts) (*radi
 	move := func(i, d int) { copy(out[d*width:(d+1)*width], rows[i*width:(i+1)*width]) }
 	var outRad []uint32
 	if o.Bits > maxFirstPassBits {
-		outRad = make([]uint32, n)
+		outRad = mempool.Slice[uint32](p.Mem(), n)
 		move = func(i, d int) {
 			copy(out[d*width:(d+1)*width], rows[i*width:(i+1)*width])
 			outRad[d] = rad[i]
@@ -124,6 +125,12 @@ func (p *Pool) PartitionedRows(larger []int32, lw, lkey int, smaller []int32, sw
 	// Partition morsels home on their level-1 radix parent's worker,
 	// exactly like the oid-pair join (see Pool.Partitioned).
 	l1 := level1Shift(o.Bits)
+	// Per-partition result buffers are carved from one leased arena at
+	// the partition's larger-side offset, capped (three-index) at one
+	// match per probe tuple — exact for key-FK joins; expanding joins
+	// (duplicate smaller keys) regrow onto a private GC slice.
+	rw := lw + sw - 2
+	arena := mempool.Slice[int32](p.Mem(), (len(larger)/lw)*rw)
 	parts := make([][]int32, h)
 	p.RunAff(h, func(pt int) uint64 { return uint64(pt) >> l1 }, func(_, pt int, _ *Scratch) {
 		ll, lh := cl.Offsets[pt]*lw, cl.Offsets[pt+1]*lw
@@ -131,13 +138,12 @@ func (p *Pool) PartitionedRows(larger []int32, lw, lkey int, smaller []int32, sw
 		if ll == lh || sl == sh {
 			return
 		}
-		// Presize to one match per probe tuple — exact for key-FK
-		// joins; expanding joins (duplicate smaller keys) regrow.
-		buf := make([]int32, 0, (cl.Offsets[pt+1]-cl.Offsets[pt])*(lw+sw-2))
+		blo, bhi := cl.Offsets[pt]*rw, cl.Offsets[pt+1]*rw
+		buf := arena[blo:blo:bhi]
 		parts[pt] = join.ProbeRowsPartition(cs.Rows[sl:sh], sw, skey,
 			cl.Rows[ll:lh], lw, lkey, shift, buf)
 	})
-	return stitchRowParts(parts, lw+sw-2, p), nil
+	return stitchRowParts(parts, rw, p), nil
 }
 
 // HashRows is the parallel equivalent of join.HashRows: the hash
@@ -168,10 +174,17 @@ func (p *Pool) buildRowsTable(rows []int32, width, key int, shift uint) (*join.R
 	if p.workers == 1 || len(rows)/width < MinParallelN {
 		return join.BuildRowsTable(rows, width, key, shift)
 	}
-	return join.BuildRowsTableParallel(rows, width, key, shift, p.workers,
+	// The table's linkage arrays are intra-query transients (the probe
+	// reads them, the result rows don't): lease the backing, dirty.
+	n := len(rows) / width
+	ml := p.Mem()
+	first := mempool.Slice[int32](ml, join.NumBuckets(n))
+	next := mempool.Slice[int32](ml, n)
+	bucketOf := mempool.Slice[uint32](ml, n)
+	return join.BuildRowsTableParallelBufs(rows, width, key, shift, p.workers,
 		func(ntasks int, body func(task int)) {
 			p.Run(ntasks, func(_, t int, _ *Scratch) { body(t) })
-		})
+		}, first, next, bucketOf)
 }
 
 // probeRowsChunked probes larger-side chunks against a prebuilt row
@@ -179,19 +192,26 @@ func (p *Pool) buildRowsTable(rows []int32, width, key int, shift uint) (*join.R
 // (= input) order — the serial probe order.
 func (p *Pool) probeRowsChunked(t *join.RowTable, larger []int32, lw, lkey, sw int) *join.RowsResult {
 	chunks := p.chunksFor(len(larger) / lw)
+	// Per-chunk buffers carve one leased arena at the chunk's offset,
+	// capped at one match per probe tuple (see PartitionedRows).
+	rw := lw + sw - 2
+	arena := mempool.Slice[int32](p.Mem(), (len(larger)/lw)*rw)
 	parts := make([][]int32, len(chunks))
 	p.Run(len(chunks), func(_, c int, _ *Scratch) {
 		r := chunks[c]
-		buf := make([]int32, 0, r.Len()*(lw+sw-2))
+		buf := arena[r.Lo*rw : r.Lo*rw : r.Hi*rw]
 		parts[c] = t.ProbeRows(larger[r.Lo*lw:r.Hi*lw], lw, lkey, buf)
 	})
-	return stitchRowParts(parts, lw+sw-2, p)
+	return stitchRowParts(parts, rw, p)
 }
 
 // stitchRowParts concatenates per-morsel result-row buffers in morsel
 // order — a parallel prefix-sum copy into disjoint output ranges.
 func stitchRowParts(parts [][]int32, width int, p *Pool) *join.RowsResult {
-	offs := make([]int, len(parts)+1)
+	// offs is transient (leased, dirty — offs[0] set explicitly); out
+	// flows onward as the result rows and stays GC-owned.
+	offs := mempool.Slice[int](p.Mem(), len(parts)+1)
+	offs[0] = 0
 	for i, part := range parts {
 		offs[i+1] = offs[i] + len(part)
 	}
@@ -319,7 +339,7 @@ func (e *Engine) DeclusterRowsInto(out []int32, outWidth, outOff int, values []i
 	pool := e.pool
 	window := perWorkerWindow(windowTuples, pool.Workers())
 	groups := groupBorders(borders, pool.Workers()*morselsPerWorker, n)
-	errs := make([]error, len(groups))
+	errs := pool.errSlots(len(groups))
 	pool.Run(len(groups), func(_, t int, s *Scratch) {
 		errs[t] = declusterRowsGroup(out, outWidth, outOff, values, width, ids,
 			borders[groups[t].Lo:groups[t].Hi], window, s)

@@ -69,6 +69,7 @@ import (
 	"time"
 
 	"radixdecluster/internal/calibrator"
+	"radixdecluster/internal/mempool"
 	"radixdecluster/internal/obs"
 )
 
@@ -321,6 +322,17 @@ type Runtime struct {
 	scanReg scanRegistry // cooperative-scan registry (scanshare.go)
 	metrics *rtMetrics   // Prometheus-style registry hooks (nil = off)
 
+	// mem is the execution-memory arena this runtime's query leases
+	// draw from (the process-wide sharedArena unless overridden); nil
+	// disables pooling (Options.MemPoolOff) and every transient falls
+	// back to the GC.
+	mem *mempool.Pool
+
+	// jrFree recycles jobRun nodes (and their task slices) across
+	// submissions — the deque bookkeeping would otherwise allocate one
+	// node per (job, worker) on every Run (guarded by mu).
+	jrFree []*jobRun
+
 	wg sync.WaitGroup
 }
 
@@ -389,20 +401,22 @@ type wdeque struct {
 	rr   int
 }
 
-// push appends task t of job j (called under Runtime.mu).
-func (d *wdeque) push(j *rtJob, t int) {
+// push appends task t of job j (called under Runtime.mu). Emptied
+// jobRun nodes recycle through rt's freelist, so steady-state
+// submission allocates nothing.
+func (d *wdeque) push(rt *Runtime, j *rtJob, t int) {
 	for _, r := range d.runs {
 		if r.j == j {
 			r.tasks = append(r.tasks, t)
 			return
 		}
 	}
-	d.runs = append(d.runs, &jobRun{j: j, tasks: []int{t}})
+	d.runs = append(d.runs, rt.getJR(j, t))
 }
 
 // popLocal claims the owner's next morsel: jobs round-robin, LIFO
 // within the chosen job.
-func (d *wdeque) popLocal() (*rtJob, int, bool) {
+func (d *wdeque) popLocal(rt *Runtime) (*rtJob, int, bool) {
 	for len(d.runs) > 0 {
 		if d.rr >= len(d.runs) {
 			d.rr = 0
@@ -410,31 +424,57 @@ func (d *wdeque) popLocal() (*rtJob, int, bool) {
 		r := d.runs[d.rr]
 		t := r.tasks[len(r.tasks)-1]
 		r.tasks = r.tasks[:len(r.tasks)-1]
+		j := r.j
 		if len(r.tasks) == 0 {
 			d.runs = append(d.runs[:d.rr], d.runs[d.rr+1:]...)
+			rt.putJR(r)
 		} else {
 			d.rr++
 		}
-		return r.j, t, true
+		return j, t, true
 	}
 	return nil, 0, false
 }
 
 // steal claims the oldest job's oldest morsel (FIFO on both axes).
-func (d *wdeque) steal() (*rtJob, int, bool) {
+func (d *wdeque) steal(rt *Runtime) (*rtJob, int, bool) {
 	if len(d.runs) == 0 {
 		return nil, 0, false
 	}
 	r := d.runs[0]
 	t := r.tasks[0]
 	r.tasks = r.tasks[1:]
+	j := r.j
 	if len(r.tasks) == 0 {
 		d.runs = d.runs[1:]
 		if d.rr > 0 {
 			d.rr--
 		}
+		rt.putJR(r)
 	}
-	return r.j, t, true
+	return j, t, true
+}
+
+// getJR takes a jobRun node off the freelist (or allocates one) and
+// initialises it with the first task. Called under rt.mu.
+func (rt *Runtime) getJR(j *rtJob, t int) *jobRun {
+	if l := len(rt.jrFree); l > 0 {
+		r := rt.jrFree[l-1]
+		rt.jrFree[l-1] = nil
+		rt.jrFree = rt.jrFree[:l-1]
+		r.j = j
+		r.tasks = append(r.tasks[:0], t)
+		return r
+	}
+	r := &jobRun{j: j, tasks: make([]int, 0, 16)}
+	r.tasks = append(r.tasks, t)
+	return r
+}
+
+// putJR recycles an emptied jobRun node. Called under rt.mu.
+func (rt *Runtime) putJR(r *jobRun) {
+	r.j = nil
+	rt.jrFree = append(rt.jrFree, r)
 }
 
 // Options configures NewRuntimeOpts.
@@ -477,6 +517,16 @@ type Options struct {
 	// one undifferentiated worker loop. Off by default: applying
 	// labels costs two goroutine-label swaps per morsel.
 	PprofLabels bool
+	// MemPoolOff disables the execution-memory arena for this
+	// runtime's queries: every transient buffer falls back to a plain
+	// GC allocation. The escape hatch — output bytes are identical
+	// either way; only allocation traffic changes.
+	MemPoolOff bool
+	// MemoryBudget caps the bytes the arena keeps resident in
+	// freelists (high-water trimming); <= 0 keeps mempool.DefaultLimit.
+	// The same figure feeds admission control as a second resource
+	// dimension at the public-API layer (costmodel.MemoryBound).
+	MemoryBudget int64
 }
 
 // NewRuntime creates a runtime with the given worker count and
@@ -512,6 +562,12 @@ func NewRuntimeOpts(o Options) *Runtime {
 		workers: workers, maxConcurrent: maxConcurrent,
 		shareScans: o.ShareScans, steal: o.Steal, pin: o.PinWorkers,
 		labels: o.PprofLabels, topo: topo,
+	}
+	if !o.MemPoolOff {
+		rt.mem = sharedArena
+		if o.MemoryBudget > 0 {
+			rt.mem.SetLimit(o.MemoryBudget)
+		}
 	}
 	rt.work = sync.NewCond(&rt.mu)
 	rt.dq = make([]wdeque, workers)
@@ -624,6 +680,21 @@ func (rt *Runtime) CompressedSavedBytes() int64 { return rt.compSaved.Load() }
 // the saved bandwidth.
 func (rt *Runtime) CompressedDecodeNanos() int64 { return rt.compDecodeNanos.Load() }
 
+// MemStats snapshots the execution-memory arena serving this
+// runtime's queries (zero when pooling is disabled). Counters are
+// process-wide: the arena is shared by every runtime that has
+// pooling on.
+func (rt *Runtime) MemStats() mempool.Stats {
+	if rt.mem == nil {
+		return mempool.Stats{}
+	}
+	return rt.mem.Stats()
+}
+
+// MemPooled reports whether this runtime's queries lease transient
+// buffers from the arena.
+func (rt *Runtime) MemPooled() bool { return rt.mem != nil }
+
 // MetricsRegistry returns the runtime's metrics registry (nil unless
 // Options.Metrics). Serve it with obs.Serve, or mount obs.NewMux on
 // an existing listener.
@@ -700,6 +771,11 @@ func (rt *Runtime) worker(w int, ready *sync.WaitGroup) {
 	}
 	ready.Done()
 	s := &Scratch{}
+	if rt.mem != nil {
+		// The worker-local arena stash: allocated after pinning so its
+		// first buffers fault in on the worker's node, like Scratch.
+		s.cache = rt.mem.NewCache()
+	}
 	for {
 		j, t, dist, ok := rt.nextTask(w)
 		if !ok {
@@ -742,7 +818,7 @@ func (rt *Runtime) nextTask(w int) (*rtJob, int, int, bool) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	for {
-		if j, t, ok := rt.dq[w].popLocal(); ok {
+		if j, t, ok := rt.dq[w].popLocal(rt); ok {
 			rt.note(j, -1)
 			return j, t, -1, true
 		}
@@ -752,7 +828,7 @@ func (rt *Runtime) nextTask(w int) (*rtJob, int, int, bool) {
 				victims = rt.victimsRing[w]
 			}
 			for _, v := range victims {
-				if j, t, ok := rt.dq[v.worker].steal(); ok {
+				if j, t, ok := rt.dq[v.worker].steal(rt); ok {
 					rt.note(j, v.dist)
 					return j, t, v.dist, true
 				}
@@ -809,7 +885,7 @@ func (rt *Runtime) submit(j *rtJob) {
 		panic("exec: Run on a closed Runtime")
 	}
 	for t := 0; t < j.ntasks; t++ {
-		rt.dq[j.home(t, rt.workers)].push(j, t)
+		rt.dq[j.home(t, rt.workers)].push(rt, j, t)
 	}
 	rt.mu.Unlock()
 	rt.work.Broadcast()

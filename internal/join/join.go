@@ -148,6 +148,70 @@ func ProbePartition(smallerOIDs []OID, smallerKeys []int32, largerOIDs []OID, la
 	buildTable(smallerOIDs, smallerKeys, shift).probe(largerOIDs, largerKeys, out)
 }
 
+// TableScratch holds reusable hash-table build arrays so that a
+// worker probing many partitions in a row builds each table into the
+// same memory instead of allocating per morsel. The zero value is
+// ready; arrays grow monotonically to the largest partition seen.
+type TableScratch struct {
+	t     table
+	first []int32
+	next  []int32
+}
+
+// build assembles the partition table into the scratch arrays. Only
+// first needs re-zeroing (0 marks an empty bucket); next is fully
+// rewritten by the insertion loop.
+func (ts *TableScratch) build(oids []OID, keys []int32, shift uint) *table {
+	n := len(keys)
+	nbuckets := 1
+	if n > 0 {
+		nbuckets = 1 << bits.Len(uint(n))
+	}
+	if cap(ts.first) < nbuckets {
+		ts.first = make([]int32, nbuckets)
+	}
+	if cap(ts.next) < n {
+		ts.next = make([]int32, n)
+	}
+	first := ts.first[:nbuckets]
+	for i := range first {
+		first[i] = 0
+	}
+	ts.t = table{
+		mask: uint32(nbuckets - 1), shift: shift,
+		first: first, next: ts.next[:n], oids: oids, keys: keys,
+	}
+	t := &ts.t
+	for i := 0; i < n; i++ {
+		b := (hash.Int32(keys[i]) >> shift) & t.mask
+		t.next[i] = t.first[b]
+		t.first[b] = int32(i) + 1
+	}
+	return t
+}
+
+// ProbePartitionScratch is ProbePartition building its table into
+// caller-provided scratch (nil falls back to fresh arrays). Output
+// bytes are identical — the scratch only changes where the transient
+// table lives.
+func ProbePartitionScratch(smallerOIDs []OID, smallerKeys []int32, largerOIDs []OID, largerKeys []int32, shift uint, out *Index, ts *TableScratch) {
+	if ts == nil {
+		ProbePartition(smallerOIDs, smallerKeys, largerOIDs, largerKeys, shift, out)
+		return
+	}
+	ts.build(smallerOIDs, smallerKeys, shift).probe(largerOIDs, largerKeys, out)
+}
+
+// NumBuckets returns the bucket count a table over n tuples uses
+// (the next power of two ≥ n) — exported so callers providing build
+// buffers (BuildRowsTableParallelBufs) can size them.
+func NumBuckets(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n))
+}
+
 // PartitionedPreclustered runs only the per-partition hash joins over
 // inputs that are already radix-clustered on matching bits — the
 // isolated join phase of Figure 9b, where clustering cost is studied
@@ -291,6 +355,15 @@ func BuildRowsTable(rows []int32, width, key int, shift uint) (*RowTable, error)
 // stays linear per worker while the (formerly serial) chain linking
 // divides.
 func BuildRowsTableParallel(rows []int32, width, key int, shift uint, nshards int, run func(ntasks int, body func(task int))) (*RowTable, error) {
+	return BuildRowsTableParallelBufs(rows, width, key, shift, nshards, run, nil, nil, nil)
+}
+
+// BuildRowsTableParallelBufs is BuildRowsTableParallel over caller-
+// provided backing arrays (recycled execution memory): first sized ≥
+// NumBuckets(n), next and bucketOf sized ≥ n, all handed in dirty —
+// every slot is rewritten here (each shard zeroes its own bucket range
+// of first before linking). nil buffers fall back to fresh arrays.
+func BuildRowsTableParallelBufs(rows []int32, width, key int, shift uint, nshards int, run func(ntasks int, body func(task int)), first, next []int32, bucketOf []uint32) (*RowTable, error) {
 	if err := checkRows(rows, width, key); err != nil {
 		return nil, err
 	}
@@ -298,20 +371,26 @@ func BuildRowsTableParallel(rows []int32, width, key int, shift uint, nshards in
 		nshards = 1
 	}
 	n := len(rows) / width
-	nbuckets := 1
-	if n > 0 {
-		nbuckets = 1 << bits.Len(uint(n))
+	nbuckets := NumBuckets(n)
+	if cap(first) < nbuckets {
+		first = make([]int32, nbuckets)
+	}
+	if cap(next) < n {
+		next = make([]int32, n)
+	}
+	if cap(bucketOf) < n {
+		bucketOf = make([]uint32, n)
 	}
 	t := &rowTable{
 		mask:  uint32(nbuckets - 1),
 		shift: shift,
-		first: make([]int32, nbuckets),
-		next:  make([]int32, n),
+		first: first[:nbuckets],
+		next:  next[:n],
 		rows:  rows,
 		width: width,
 		key:   key,
 	}
-	bucketOf := make([]uint32, n)
+	bucketOf = bucketOf[:n]
 	run(nshards, func(shard int) {
 		lo, hi := shardRange(n, nshards, shard)
 		for i := lo; i < hi; i++ {
@@ -320,6 +399,9 @@ func BuildRowsTableParallel(rows []int32, width, key int, shift uint, nshards in
 	})
 	run(nshards, func(shard int) {
 		blo, bhi := shardRange(nbuckets, nshards, shard)
+		for b := blo; b < bhi; b++ {
+			t.first[b] = 0
+		}
 		for i := 0; i < n; i++ {
 			if b := bucketOf[i]; int(b) >= blo && int(b) < bhi {
 				t.next[i] = t.first[b]

@@ -1,0 +1,391 @@
+// Package mempool is the process-wide execution-memory arena: a
+// size-classed recycling pool for the transient buffers the executor
+// burns through on every query — radix-cluster scatter targets,
+// per-partition match lists, prefix-sum histograms, decode scratch.
+//
+// Why it exists: the paper's whole argument is that memory behaviour,
+// not instruction count, decides projection cost. Under concurrent
+// load the Go GC becomes a hidden extra query — allocation-heavy
+// steady state means mark/sweep competes for exactly the memory
+// bandwidth the cost model budgets to the real queries. The arena
+// makes the steady state of a warmed-up runtime near-allocation-free:
+// every transient comes from a recycled buffer and goes back at query
+// end.
+//
+// Three layers:
+//
+//   - Pool: the shared global arena. Buffers live in power-of-two
+//     size-class freelists (64 B … 64 MB); Get pops a class, Put
+//     pushes one back, and a high-water limit trims returns that
+//     would grow the held bytes past it (dropped to the GC, counted
+//     as trims). Everything above asks the Pool last.
+//   - Cache: a per-worker stash in front of the Pool. Single-
+//     goroutine by contract (it lives in the worker's Scratch), so
+//     get/put touch no lock at all; overflow spills to the Pool.
+//   - Lease: the per-query checkout ledger. Operators acquire every
+//     intra-query transient through the pipeline's Lease; Release —
+//     called exactly once when the pipeline completes, success or
+//     error — returns every buffer to the Pool in one sweep. The
+//     lease also keeps the per-query accounting (bytes newly
+//     allocated, bytes served from recycled buffers, peak bytes
+//     held) that surfaces as Timing.Mem.
+//
+// Buffers are handed out DIRTY: a recycled buffer holds whatever the
+// previous query wrote. Callers must either fully overwrite
+// (scatter targets, prefix sums — every slot written by construction)
+// or zero explicitly (histograms). The generic Slice helpers
+// reinterpret the byte backing as element slices via unsafe; they are
+// only sound for pointer-free element types (ints, floats, plain
+// structs of them) — a pointer stored into byte-backed memory is
+// invisible to the GC. Nothing in this package hands out
+// pointer-typed slices.
+package mempool
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+const (
+	// minClassShift..maxClassShift bound the size classes: 64 B keeps
+	// tiny asks from fragmenting the ledger, 64 MB covers a 16M-tuple
+	// uint32 column — the paper's largest relation — in one buffer.
+	minClassShift = 6
+	maxClassShift = 26
+	numClasses    = maxClassShift - minClassShift + 1
+
+	// DefaultLimit is the default high-water bound on bytes the Pool
+	// holds in freelists (not bytes checked out): 256 MB keeps a few
+	// concurrent queries' steady-state footprint resident without
+	// pinning an unbounded worst case.
+	DefaultLimit = 256 << 20
+
+	// cacheDepth is how many buffers a worker Cache stashes per class
+	// before spilling to the shared Pool.
+	cacheDepth = 4
+)
+
+// classFor returns the size class index for an n-byte ask, or -1 when
+// n exceeds the largest class (the caller falls through to the GC).
+func classFor(n int) int {
+	if n <= 1<<minClassShift {
+		return 0
+	}
+	c := bits.Len(uint(n-1)) - minClassShift
+	if c >= numClasses {
+		return -1
+	}
+	return c
+}
+
+// Stats is a snapshot of the arena's lifetime counters.
+type Stats struct {
+	// Hits / Misses count buffer acquisitions served from a freelist
+	// vs. freshly allocated.
+	Hits, Misses int64
+	// Trims counts buffers dropped to the GC because returning them
+	// would have pushed the held bytes past the limit.
+	Trims int64
+	// HeldBytes is the bytes currently sitting in freelists, ready
+	// for reuse.
+	HeldBytes int64
+	// Leases is the number of live (unreleased) leases — nonzero at
+	// quiescence means a query leaked its lease.
+	Leases int64
+}
+
+// HitRate returns Hits / (Hits + Misses), 0 before any acquisition.
+func (s Stats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// Pool is the shared size-classed arena. The zero value is not ready;
+// use New.
+type Pool struct {
+	mu   sync.Mutex
+	free [numClasses][][]byte
+	held int64 // bytes in freelists (guarded by mu)
+
+	limit  atomic.Int64
+	hits   atomic.Int64
+	misses atomic.Int64
+	trims  atomic.Int64
+	leases atomic.Int64
+}
+
+// New creates a Pool whose freelists trim above limit bytes
+// (limit <= 0 selects DefaultLimit).
+func New(limit int64) *Pool {
+	p := &Pool{}
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	p.limit.Store(limit)
+	return p
+}
+
+// SetLimit replaces the high-water trim bound (<= 0 restores
+// DefaultLimit). Already-held buffers stay until returns trim them.
+func (p *Pool) SetLimit(limit int64) {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	p.limit.Store(limit)
+}
+
+// Limit returns the current trim bound.
+func (p *Pool) Limit() int64 { return p.limit.Load() }
+
+// Stats snapshots the lifetime counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	held := p.held
+	p.mu.Unlock()
+	return Stats{
+		Hits: p.hits.Load(), Misses: p.misses.Load(),
+		Trims: p.trims.Load(), HeldBytes: held,
+		Leases: p.leases.Load(),
+	}
+}
+
+// get returns a dirty buffer of at least n bytes (len == cap ==
+// class size), and whether it was recycled. n beyond the largest
+// class falls through to a plain allocation.
+func (p *Pool) get(n int) (buf []byte, reused bool) {
+	c := classFor(n)
+	if c < 0 {
+		p.misses.Add(1)
+		return make([]byte, n), false
+	}
+	p.mu.Lock()
+	if l := len(p.free[c]); l > 0 {
+		buf = p.free[c][l-1]
+		p.free[c][l-1] = nil
+		p.free[c] = p.free[c][:l-1]
+		p.held -= int64(cap(buf))
+		p.mu.Unlock()
+		p.hits.Add(1)
+		return buf, true
+	}
+	p.mu.Unlock()
+	p.misses.Add(1)
+	return make([]byte, 1<<(uint(c)+minClassShift)), false
+}
+
+// put returns a buffer to its freelist, dropping it instead when the
+// held bytes would exceed the limit (a trim).
+func (p *Pool) put(buf []byte) {
+	c := classFor(cap(buf))
+	if c < 0 || cap(buf) != 1<<(uint(c)+minClassShift) {
+		// Odd-sized (beyond-class or externally grown) buffers are
+		// not class members; let the GC have them.
+		return
+	}
+	p.mu.Lock()
+	if p.held+int64(cap(buf)) > p.limit.Load() {
+		p.mu.Unlock()
+		p.trims.Add(1)
+		return
+	}
+	p.free[c] = append(p.free[c], buf[:cap(buf)])
+	p.held += int64(cap(buf))
+	p.mu.Unlock()
+}
+
+// Cache is a per-worker stash in front of the Pool. It is single-
+// goroutine by contract — it lives in a worker's Scratch and is only
+// touched from that worker's loop — so get/put are lock-free.
+type Cache struct {
+	p    *Pool
+	free [numClasses][][]byte
+}
+
+// NewCache creates a worker cache over p.
+func (p *Pool) NewCache() *Cache { return &Cache{p: p} }
+
+// GetBytes returns a dirty buffer of at least n bytes from the stash,
+// falling back to the shared Pool.
+func (c *Cache) GetBytes(n int) []byte {
+	cl := classFor(n)
+	if cl >= 0 {
+		if l := len(c.free[cl]); l > 0 {
+			buf := c.free[cl][l-1]
+			c.free[cl][l-1] = nil
+			c.free[cl] = c.free[cl][:l-1]
+			c.p.hits.Add(1)
+			return buf
+		}
+	}
+	buf, _ := c.p.get(n)
+	return buf
+}
+
+// PutBytes stashes a buffer for this worker's next ask, spilling to
+// the shared Pool when the class stash is full.
+func (c *Cache) PutBytes(buf []byte) {
+	cl := classFor(cap(buf))
+	if cl >= 0 && cap(buf) == 1<<(uint(cl)+minClassShift) && len(c.free[cl]) < cacheDepth {
+		c.free[cl] = append(c.free[cl], buf[:cap(buf)])
+		return
+	}
+	c.p.put(buf)
+}
+
+// CacheSlice returns a dirty []T of length n from the worker cache
+// (nil cache falls back to make). Return it with CachePut when the
+// morsel is done. T must be pointer-free.
+func CacheSlice[T any](c *Cache, n int) []T {
+	if c == nil {
+		return make([]T, n)
+	}
+	var t T
+	esz := int(unsafe.Sizeof(t))
+	if n == 0 || esz == 0 {
+		return make([]T, n)
+	}
+	buf := c.GetBytes(n * esz)
+	// Keep the full class capacity visible so CachePut can reconstruct
+	// the exact backing buffer (element sizes are powers of two, so
+	// cap(buf) divides evenly).
+	return unsafe.Slice((*T)(unsafe.Pointer(&buf[0])), cap(buf)/esz)[:n]
+}
+
+// CachePut returns a CacheSlice buffer to the worker cache.
+func CachePut[T any](c *Cache, s []T) {
+	if c == nil || cap(s) == 0 {
+		return
+	}
+	var t T
+	esz := int(unsafe.Sizeof(t))
+	if esz == 0 {
+		return
+	}
+	b := unsafe.Slice((*byte)(unsafe.Pointer(&s[:cap(s)][0])), cap(s)*esz)
+	c.PutBytes(b)
+}
+
+// LeaseStats is one query's memory accounting.
+type LeaseStats struct {
+	// Acquired is the total bytes of transient buffers the query
+	// checked out (class-rounded).
+	Acquired int64
+	// Reused is the portion of Acquired served from recycled arena
+	// buffers rather than fresh allocations — the allocation traffic
+	// the pool absorbed. Acquired - Reused is the fresh bytes.
+	Reused int64
+	// HighWater is the peak bytes the query had checked out at once —
+	// its transient footprint, the admission cost model's unit.
+	HighWater int64
+}
+
+// Lease is one query's checkout ledger over the Pool. Acquire
+// through the generic Slice helpers (or Bytes); Release returns every
+// buffer in one sweep. Safe for concurrent acquisition from multiple
+// workers; Release must be called exactly once, after all acquirers
+// are done.
+type Lease struct {
+	p        *Pool
+	mu       sync.Mutex
+	bufs     [][]byte
+	released bool
+
+	acquired int64
+	reused   int64
+	held     int64
+	high     int64
+}
+
+// NewLease opens a checkout ledger on the pool.
+func (p *Pool) NewLease() *Lease {
+	p.leases.Add(1)
+	return &Lease{p: p}
+}
+
+// Bytes returns a dirty buffer of at least n bytes checked out until
+// Release.
+func (l *Lease) Bytes(n int) []byte {
+	buf, reused := l.p.get(n)
+	l.mu.Lock()
+	if l.released {
+		l.mu.Unlock()
+		panic("mempool: acquisition on a released lease")
+	}
+	l.bufs = append(l.bufs, buf)
+	l.acquired += int64(cap(buf))
+	if reused {
+		l.reused += int64(cap(buf))
+	}
+	l.held += int64(cap(buf))
+	if l.held > l.high {
+		l.high = l.held
+	}
+	l.mu.Unlock()
+	return buf
+}
+
+// Release returns every checked-out buffer to the Pool. Calling it a
+// second time panics — a double release would hand buffers still
+// referenced by one query to another.
+func (l *Lease) Release() {
+	l.mu.Lock()
+	if l.released {
+		l.mu.Unlock()
+		panic("mempool: lease released twice")
+	}
+	l.released = true
+	bufs := l.bufs
+	l.bufs = nil
+	l.held = 0
+	l.mu.Unlock()
+	for _, b := range bufs {
+		l.p.put(b)
+	}
+	l.p.leases.Add(-1)
+}
+
+// Stats snapshots the lease's accounting.
+func (l *Lease) Stats() LeaseStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LeaseStats{Acquired: l.acquired, Reused: l.reused, HighWater: l.high}
+}
+
+// Slice returns a dirty []T of length n (and capacity >= n) checked
+// out on the lease, or a plain make([]T, n) when l is nil — the
+// pooling-off escape hatch collapses to the GC path at every call
+// site. T must be pointer-free: the backing memory is untyped bytes
+// the GC will not scan for references.
+func Slice[T any](l *Lease, n int) []T {
+	return SliceCap[T](l, n, n)
+}
+
+// SliceCap returns a dirty []T of length n and capacity >= c. The
+// result uses a three-index slice so appends past c reallocate into
+// GC memory instead of overrunning a neighbouring checkout.
+func SliceCap[T any](l *Lease, n, c int) []T {
+	if c < n {
+		c = n
+	}
+	if l == nil {
+		return make([]T, n, c)
+	}
+	var t T
+	esz := int(unsafe.Sizeof(t))
+	if c == 0 || esz == 0 {
+		return make([]T, n, c)
+	}
+	buf := l.Bytes(c * esz)
+	return unsafe.Slice((*T)(unsafe.Pointer(&buf[0])), c)[:n:c]
+}
+
+// String renders the stats compactly (debug/report helper).
+func (s Stats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d trims=%d held=%dB leases=%d hitrate=%.2f",
+		s.Hits, s.Misses, s.Trims, s.HeldBytes, s.Leases, s.HitRate())
+}

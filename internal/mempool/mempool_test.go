@@ -1,0 +1,208 @@
+package mempool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{1, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2},
+		{1 << 26, maxClassShift - minClassShift},
+		{1<<26 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+func TestLeaseRecyclesAcrossQueries(t *testing.T) {
+	p := New(0)
+	l1 := p.NewLease()
+	b := Slice[uint32](l1, 1000)
+	for i := range b {
+		b[i] = uint32(i)
+	}
+	l1.Release()
+	if st := p.Stats(); st.Misses == 0 || st.Hits != 0 {
+		t.Fatalf("first query should miss: %v", st)
+	}
+	l2 := p.NewLease()
+	_ = Slice[uint32](l2, 1000)
+	if st := p.Stats(); st.Hits != 1 {
+		t.Fatalf("second query should hit the recycled buffer: %v", st)
+	}
+	ls := l2.Stats()
+	if ls.Reused == 0 || ls.Acquired != ls.Reused {
+		t.Fatalf("lease accounting should show full reuse: %+v", ls)
+	}
+	l2.Release()
+	if st := p.Stats(); st.Leases != 0 {
+		t.Fatalf("leases leaked: %v", st)
+	}
+}
+
+func TestLeaseAccounting(t *testing.T) {
+	p := New(0)
+	l := p.NewLease()
+	_ = Slice[uint64](l, 100) // 800B -> 1024B class
+	_ = Slice[byte](l, 50)    // -> 64B class
+	st := l.Stats()
+	if st.Acquired != 1024+64 {
+		t.Errorf("Acquired = %d, want %d", st.Acquired, 1024+64)
+	}
+	if st.Reused != 0 {
+		t.Errorf("Reused = %d on a cold pool, want 0", st.Reused)
+	}
+	if st.HighWater != st.Acquired {
+		t.Errorf("HighWater = %d, want %d", st.HighWater, st.Acquired)
+	}
+	l.Release()
+	// A second lease over the now-warm pool reuses what it acquires.
+	l2 := p.NewLease()
+	_ = Slice[uint64](l2, 100)
+	if st := l2.Stats(); st.Acquired != 1024 || st.Reused != 1024 {
+		t.Errorf("warm lease: acquired=%d reused=%d, want 1024/1024", st.Acquired, st.Reused)
+	}
+	l2.Release()
+	// HighWater survives release (it is reported after pipeline end).
+	if got := l.Stats().HighWater; got != 1024+64 {
+		t.Errorf("post-release HighWater = %d", got)
+	}
+}
+
+func TestLeaseDoubleReleasePanics(t *testing.T) {
+	p := New(0)
+	l := p.NewLease()
+	_ = Slice[int32](l, 16)
+	l.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Release should panic")
+		}
+	}()
+	l.Release()
+}
+
+func TestLeaseAcquireAfterReleasePanics(t *testing.T) {
+	p := New(0)
+	l := p.NewLease()
+	l.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("acquisition on a released lease should panic")
+		}
+	}()
+	_ = Slice[int32](l, 16)
+}
+
+func TestLeakDetection(t *testing.T) {
+	p := New(0)
+	l := p.NewLease()
+	_ = l
+	if p.Stats().Leases != 1 {
+		t.Fatal("live lease not counted")
+	}
+	l.Release()
+	if p.Stats().Leases != 0 {
+		t.Fatal("released lease still counted")
+	}
+}
+
+func TestTrim(t *testing.T) {
+	p := New(128) // hold at most 128 bytes
+	l := p.NewLease()
+	_ = Slice[byte](l, 128) // one 128B buffer
+	_ = Slice[byte](l, 128) // another
+	l.Release()
+	st := p.Stats()
+	if st.Trims != 1 {
+		t.Fatalf("expected 1 trim, got %v", st)
+	}
+	if st.HeldBytes != 128 {
+		t.Fatalf("held = %d, want 128", st.HeldBytes)
+	}
+}
+
+func TestSliceCapAppendStaysDisjoint(t *testing.T) {
+	p := New(0)
+	l := p.NewLease()
+	defer l.Release()
+	s := SliceCap[uint32](l, 0, 4)
+	if cap(s) != 4 {
+		t.Fatalf("cap = %d, want 4", cap(s))
+	}
+	// Appending past the capacity must reallocate, never run into a
+	// neighbouring checkout of the same backing class.
+	s = append(s, 1, 2, 3, 4, 5)
+	if len(s) != 5 {
+		t.Fatal("append lost elements")
+	}
+}
+
+func TestBeyondClassFallsThrough(t *testing.T) {
+	p := New(0)
+	l := p.NewLease()
+	huge := Slice[byte](l, (1<<26)+1)
+	if len(huge) != (1<<26)+1 {
+		t.Fatal("beyond-class ask wrong length")
+	}
+	l.Release()
+	if st := p.Stats(); st.HeldBytes != 0 {
+		t.Fatalf("beyond-class buffer must not enter freelists: %v", st)
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	p := New(0)
+	c := p.NewCache()
+	s := CacheSlice[int32](c, 100)
+	for i := range s {
+		s[i] = int32(i)
+	}
+	CachePut(c, s)
+	s2 := CacheSlice[int32](c, 100)
+	// Same class, single goroutine: the stash must serve the same
+	// backing buffer back without touching the shared pool.
+	if &s[0] != &s2[0] {
+		t.Fatal("cache did not recycle the worker-local buffer")
+	}
+	if p.Stats().Hits == 0 {
+		t.Fatal("cache hit not counted")
+	}
+}
+
+func TestNilLeaseAndCacheFallBackToGC(t *testing.T) {
+	s := Slice[uint32](nil, 10)
+	if len(s) != 10 {
+		t.Fatal("nil lease fallback broken")
+	}
+	cs := CacheSlice[uint32](nil, 10)
+	if len(cs) != 10 {
+		t.Fatal("nil cache fallback broken")
+	}
+	CachePut[uint32](nil, cs) // must not panic
+}
+
+func TestConcurrentLeaseAcquire(t *testing.T) {
+	p := New(0)
+	l := p.NewLease()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s := Slice[uint32](l, 256)
+				s[0] = 1
+			}
+		}()
+	}
+	wg.Wait()
+	l.Release()
+	if st := p.Stats(); st.Leases != 0 {
+		t.Fatalf("leak after concurrent acquire: %v", st)
+	}
+}

@@ -189,6 +189,7 @@ func phasesFromTimings(t exec.Timings) Phases {
 		SharedScanHits: t.SharedScanHits,
 		Sched:          t.Sched,
 		Comp:           t.Comp,
+		Mem:            t.Mem,
 		Total:          t.Total,
 	}
 }

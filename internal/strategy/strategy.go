@@ -38,6 +38,7 @@ import (
 	"radixdecluster/internal/exec"
 	"radixdecluster/internal/join"
 	"radixdecluster/internal/mem"
+	"radixdecluster/internal/mempool"
 	"radixdecluster/internal/obs"
 	"radixdecluster/internal/radix"
 )
@@ -164,6 +165,10 @@ type Phases struct {
 	// inputs consumed, encoded bytes read, raw bytes that traffic
 	// replaced, and wall time in block-decode loops. Zero for raw runs.
 	Comp exec.CompStats
+	// Mem is the run's transient-buffer accounting from the execution
+	// arena: bytes acquired, bytes served by recycled buffers, and the
+	// peak bytes held at once. Zero for serial runs or pool-off runtimes.
+	Mem mempool.LeaseStats
 	// Total is the end-to-end time.
 	Total time.Duration
 }
@@ -177,6 +182,9 @@ func (p Phases) String() string {
 	if p.Comp.Cols > 0 {
 		s += fmt.Sprintf(" comp[cols=%d saved=%dB decode=%v]",
 			p.Comp.Cols, p.Comp.SavedBytes, p.Comp.DecodeTime().Round(time.Microsecond))
+	}
+	if p.Mem.Acquired > 0 {
+		s += fmt.Sprintf(" mem[acq=%dB reuse=%dB high=%dB]", p.Mem.Acquired, p.Mem.Reused, p.Mem.HighWater)
 	}
 	return s
 }

@@ -205,6 +205,25 @@ type Timing struct {
 	CompressedBytes      int64
 	CompressedSavedBytes int64
 	DecodeTime           time.Duration
+	// Mem is the query's transient-buffer accounting from the
+	// execution arena (see RuntimeConfig.MemPoolOff / MemoryBudget):
+	// how many bytes of scratch the run leased, how many of those were
+	// recycled buffers rather than fresh allocations, and the peak
+	// bytes held at once. Output columns are never leased — they are
+	// ordinary garbage-collected slices owned by the caller. All zero
+	// for serial runs and pool-off runtimes.
+	Mem MemStats
+}
+
+// MemStats is one query's execution-arena accounting.
+type MemStats struct {
+	// Acquired is the total bytes of transient buffers the query
+	// leased; Reused is the portion served by recycled buffers.
+	Acquired, Reused int64
+	// HighWater is the peak leased bytes held at any one time — the
+	// query's transient working-set size, the quantity a memory budget
+	// or spill tier reasons about.
+	HighWater int64
 }
 
 // Result is a completed project-join. Columns appear in result order:
@@ -401,6 +420,8 @@ func buildResult(q JoinQuery, res *strategy.Result, tr *obs.Trace) (*Result, err
 			CompressedBytes:      res.Phases.Comp.CompressedBytes,
 			CompressedSavedBytes: res.Phases.Comp.SavedBytes,
 			DecodeTime:           time.Duration(res.Phases.Comp.DecodeNanos),
+			Mem: MemStats{Acquired: res.Phases.Mem.Acquired,
+				Reused: res.Phases.Mem.Reused, HighWater: res.Phases.Mem.HighWater},
 		},
 		Plan: fmt.Sprintf("joinbits=%d largerbits=%d smallerbits=%d window=%d methods=%c/%c workers=%d",
 			res.JoinBits, res.LargerBits, res.SmallerBits, res.Window,

@@ -67,6 +67,21 @@ type RuntimeConfig struct {
 	// profiles of a busy runtime break down by query and phase. Off by
 	// default: labeling costs two label-set swaps per morsel.
 	PprofLabels bool
+	// MemPoolOff disables the execution-memory arena: every transient
+	// buffer (radix scatter targets, partition match lists, hash-table
+	// linkage, prefix-sum scratch) is allocated fresh from the GC
+	// instead of leased from the size-classed pool. Escape hatch —
+	// results are byte-identical either way; the arena only changes
+	// where the backing memory comes from.
+	MemPoolOff bool
+	// MemoryBudget caps the bytes of idle recycled buffers the arena
+	// retains (buffers beyond it are dropped to the GC) and, when
+	// MaxConcurrentQueries is derived, adds a memory ceiling to
+	// admission: at most MemoryBudget / costmodel.PerQueryMemEstimate
+	// queries run at once, so the combined transient working sets stay
+	// inside the budget. <= 0 keeps the arena's default retention limit
+	// and imposes no admission ceiling.
+	MemoryBudget int64
 }
 
 // StealPolicy selects the runtime's work-stealing behaviour (see
@@ -198,11 +213,22 @@ func NewRuntime(cfg RuntimeConfig) *Runtime {
 	admit := cfg.MaxConcurrentQueries
 	if admit <= 0 {
 		admit = costmodel.AdaptiveAdmission(cfg.Hier.internal(), workers)
+		if cfg.MemoryBudget > 0 {
+			memBound := costmodel.MemoryBound(cfg.MemoryBudget,
+				costmodel.PerQueryMemEstimate(cfg.Hier.internal()))
+			if admit > memBound {
+				admit = memBound
+			}
+			if admit < 1 {
+				admit = 1
+			}
+		}
 	}
 	r := &Runtime{rt: exec.NewRuntimeOpts(exec.Options{
 		Workers: workers, MaxConcurrent: admit, ShareScans: cfg.ShareScans,
 		Steal: exec.StealPolicy(cfg.StealPolicy), PinWorkers: cfg.PinWorkers,
 		Metrics: cfg.MetricsAddr != "", PprofLabels: cfg.PprofLabels,
+		MemPoolOff: cfg.MemPoolOff, MemoryBudget: cfg.MemoryBudget,
 	})}
 	if cfg.MetricsAddr != "" {
 		r.metricsSrv, r.metricsErr = obs.Serve(cfg.MetricsAddr, r.rt.MetricsRegistry())
@@ -252,6 +278,47 @@ func (r *Runtime) SharedScanHits() int64 { return r.rt.SharedScanHits() }
 
 // StealPolicy returns the runtime's work-stealing policy.
 func (r *Runtime) StealPolicy() StealPolicy { return StealPolicy(r.rt.Steal()) }
+
+// MemPoolStats is the execution-memory arena's lifetime counter set.
+type MemPoolStats struct {
+	// Hits counts buffer requests served by a recycled buffer; Misses
+	// counts requests that fell through to a fresh allocation.
+	Hits, Misses int64
+	// Trims counts buffers dropped to the GC because the arena's idle
+	// retention exceeded its limit (RuntimeConfig.MemoryBudget).
+	Trims int64
+	// HeldBytes is the bytes of recycled buffers currently idle in the
+	// arena's free lists.
+	HeldBytes int64
+	// Leases is the number of per-query leases currently open —
+	// non-zero between a query's first buffer request and its pipeline
+	// teardown, so a steady-state non-zero value indicates a leak.
+	Leases int64
+}
+
+// HitRate returns Hits / (Hits + Misses), 0 before any request.
+func (s MemPoolStats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+func (s MemPoolStats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d trims=%d held=%dB leases=%d", s.Hits, s.Misses, s.Trims, s.HeldBytes, s.Leases)
+}
+
+// MemPooled reports whether this runtime leases transient execution
+// buffers from the recycling arena (false under
+// RuntimeConfig.MemPoolOff).
+func (r *Runtime) MemPooled() bool { return r.rt.MemPooled() }
+
+// MemPoolStats returns the arena counters accumulated across every
+// query this runtime has executed. All zero when the pool is off.
+func (r *Runtime) MemPoolStats() MemPoolStats {
+	s := r.rt.MemStats()
+	return MemPoolStats{Hits: s.Hits, Misses: s.Misses, Trims: s.Trims, HeldBytes: s.HeldBytes, Leases: s.Leases}
+}
 
 // SchedStats returns the scheduler counters accumulated across every
 // query this runtime has executed: morsels served by their home
