@@ -1,0 +1,251 @@
+// Command joinload drives a running joinserve daemon with synthetic
+// query traffic and reports what the service delivered: latency
+// percentiles, achieved throughput, backpressure rejections, and the
+// shared-scan hit count the daemon's arrival batching produced.
+//
+// Two load models:
+//
+//	-concurrency N   closed loop: N clients, each firing its next
+//	                 query as soon as the previous one finishes.
+//	-rate R          open loop: queries arrive at R per second with
+//	                 exponential (Poisson) inter-arrival gaps,
+//	                 regardless of how fast the service answers — the
+//	                 model that actually exposes queueing collapse.
+//
+// The query mix cycles through -strategies and spreads over -sources
+// relation pairs (larger0/smaller0, larger1/smaller1, ... as
+// registered by joinserve -pairs). Responses stream as NDJSON; by
+// default the generator asks the server to omit row chunks
+// (engine-bound load), -rows streams them back too (transfer-bound).
+//
+// -minqueries Q / -minshared S exit non-zero unless at least Q
+// queries completed / the daemon's /v1/status reports at least S
+// shared-scan hits at the end — the CI assertions that the service
+// under load genuinely executed queries and that arrival batching
+// genuinely lined up shared passes.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// request mirrors the server's QueryRequest wire shape.
+type request struct {
+	Larger      string `json:"larger"`
+	Smaller     string `json:"smaller"`
+	Strategy    string `json:"strategy,omitempty"`
+	Parallelism *int   `json:"parallelism,omitempty"`
+	Compression string `json:"compression,omitempty"`
+	Limit       int    `json:"limit,omitempty"`
+	OmitRows    bool   `json:"omitRows,omitempty"`
+}
+
+// footer is the tail NDJSON line of a response.
+type footer struct {
+	RowsStreamed   int   `json:"rowsStreamed"`
+	SharedScanHits int64 `json:"sharedScanHits"`
+	Timing         struct {
+		QueueMs float64 `json:"queueMs"`
+		TotalMs float64 `json:"totalMs"`
+	} `json:"timing"`
+}
+
+// tally accumulates outcomes across all load goroutines.
+type tally struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	queueMs   float64
+	serverMs  float64
+	rows      int64
+	hits      int64
+
+	completed atomic.Int64
+	rejected  atomic.Int64 // 429
+	errored   atomic.Int64
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "joinserve base URL")
+	duration := flag.Duration("duration", 5*time.Second, "load duration")
+	concurrency := flag.Int("concurrency", 4, "closed-loop clients (ignored when -rate > 0)")
+	rate := flag.Float64("rate", 0, "open-loop arrival rate in queries/s with Poisson gaps (0 = closed loop)")
+	strategies := flag.String("strategies", "NSM-post-decluster", "comma-separated strategy mix, cycled per query (canonical names; empty entry = auto)")
+	sources := flag.Int("sources", 1, "relation pairs to spread queries over (joinserve -pairs)")
+	parallelism := flag.Int("parallelism", -1, "per-query parallelism (-1 = planner, 0 = serial)")
+	compression := flag.String("compression", "", "per-query compression: off | auto | on (empty = off)")
+	limit := flag.Int("limit", 0, "rows to stream back per query (0 = all, when -rows)")
+	rows := flag.Bool("rows", false, "stream row chunks back (default asks the server to omit them)")
+	seed := flag.Int64("seed", 1, "arrival-process seed")
+	minQueries := flag.Int("minqueries", 0, "fail (exit 1) unless at least this many queries complete")
+	minShared := flag.Int64("minshared", 0, "fail (exit 1) unless the daemon reports at least this many shared-scan hits")
+	flag.Parse()
+
+	mix := strings.Split(*strategies, ",")
+	tl := &tally{}
+	client := &http.Client{}
+	var seq atomic.Int64
+	fire := func() {
+		i := seq.Add(1) - 1
+		pair := int(i) % *sources
+		req := request{
+			Larger:      fmt.Sprintf("larger%d", pair),
+			Smaller:     fmt.Sprintf("smaller%d", pair),
+			Strategy:    strings.TrimSpace(mix[int(i)%len(mix)]),
+			Parallelism: parallelism,
+			Compression: *compression,
+			Limit:       *limit,
+			OmitRows:    !*rows,
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			fail(err)
+		}
+		start := time.Now()
+		resp, err := client.Post(*addr+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			tl.errored.Add(1)
+			return
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			tl.rejected.Add(1)
+			return
+		default:
+			tl.errored.Add(1)
+			return
+		}
+		// Consume the NDJSON stream; the last line is the footer.
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<26)
+		var last []byte
+		for sc.Scan() {
+			last = append(last[:0], sc.Bytes()...)
+		}
+		if sc.Err() != nil || last == nil {
+			tl.errored.Add(1)
+			return
+		}
+		var foot footer
+		if err := json.Unmarshal(last, &foot); err != nil {
+			tl.errored.Add(1)
+			return
+		}
+		elapsed := time.Since(start)
+		tl.completed.Add(1)
+		tl.mu.Lock()
+		tl.latencies = append(tl.latencies, elapsed)
+		tl.queueMs += foot.Timing.QueueMs
+		tl.serverMs += foot.Timing.TotalMs
+		tl.rows += int64(foot.RowsStreamed)
+		tl.hits += foot.SharedScanHits
+		tl.mu.Unlock()
+	}
+
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	if *rate > 0 {
+		// Open loop: exponential gaps around the target rate; every
+		// arrival gets its own goroutine so slow responses never slow
+		// the arrival process down.
+		fmt.Printf("joinload: open loop at %.1f q/s for %v against %s\n", *rate, *duration, *addr)
+		rng := rand.New(rand.NewSource(*seed))
+		for time.Now().Before(deadline) {
+			wg.Add(1)
+			go func() { defer wg.Done(); fire() }()
+			time.Sleep(time.Duration(rng.ExpFloat64() / *rate * float64(time.Second)))
+		}
+	} else {
+		fmt.Printf("joinload: closed loop, %d clients for %v against %s\n", *concurrency, *duration, *addr)
+		for c := 0; c < *concurrency; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					fire()
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	report(tl, *addr, *duration, *minQueries, *minShared)
+}
+
+func report(tl *tally, addr string, dur time.Duration, minQueries int, minShared int64) {
+	n := tl.completed.Load()
+	fmt.Printf("completed %d queries (%.1f q/s), %d rejected (429), %d errored\n",
+		n, float64(n)/dur.Seconds(), tl.rejected.Load(), tl.errored.Load())
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	if n > 0 {
+		sort.Slice(tl.latencies, func(i, j int) bool { return tl.latencies[i] < tl.latencies[j] })
+		var sum time.Duration
+		for _, l := range tl.latencies {
+			sum += l
+		}
+		pct := func(p float64) time.Duration {
+			i := int(p * float64(len(tl.latencies)-1))
+			return tl.latencies[i]
+		}
+		fmt.Printf("latency: p50=%v p95=%v p99=%v mean=%v max=%v\n",
+			pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+			pct(0.99).Round(time.Microsecond), (sum / time.Duration(n)).Round(time.Microsecond),
+			tl.latencies[len(tl.latencies)-1].Round(time.Microsecond))
+		fmt.Printf("server side: %.1fms engine time per query, %.1f%% of it queueing; %d rows streamed; %d shared-scan hits across responses\n",
+			tl.serverMs/float64(n), pctOf(tl.queueMs, tl.serverMs), tl.rows, tl.hits)
+	}
+
+	// The daemon's own view: lifetime shared-scan hits and counters.
+	daemonHits := int64(-1)
+	var st struct {
+		SharedScanHits int64 `json:"sharedScanHits"`
+		Server         struct {
+			BatchWindows   int64 `json:"batchWindows"`
+			BatchedQueries int64 `json:"batchedQueries"`
+			Rejected       int64 `json:"queriesRejected"`
+		} `json:"server"`
+	}
+	resp, err := http.Get(addr + "/v1/status")
+	if err == nil {
+		if json.NewDecoder(resp.Body).Decode(&st) == nil {
+			daemonHits = st.SharedScanHits
+			fmt.Printf("daemon: %d shared-scan hits lifetime, %d batch windows, %d batched riders, %d rejected\n",
+				st.SharedScanHits, st.Server.BatchWindows, st.Server.BatchedQueries, st.Server.Rejected)
+		}
+		resp.Body.Close()
+	} else {
+		fmt.Fprintf(os.Stderr, "joinload: status scrape: %v\n", err)
+	}
+
+	if n < int64(minQueries) {
+		fail(fmt.Errorf("completed %d queries, below required -minqueries %d", n, minQueries))
+	}
+	if minShared > 0 && daemonHits < minShared {
+		fail(fmt.Errorf("daemon shared-scan hits %d below required -minshared %d", daemonHits, minShared))
+	}
+}
+
+func pctOf(part, whole float64) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return 100 * part / whole
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -7,6 +7,7 @@ package obs
 // embedding programs keep their own routing.
 
 import (
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -18,15 +19,30 @@ type Server struct {
 	srv *http.Server
 }
 
-// NewMux returns the observability mux: /metrics rendering the
-// registry, /debug/pprof/* the standard Go profiling handlers
-// (profile, heap, goroutine, trace, ...). Exposed separately from
-// Serve so daemons can mount it on their own listener.
-func NewMux(reg *Registry) *http.ServeMux {
+// Exposition is anything that can render itself in the Prometheus
+// text exposition format. *Registry implements it; so does the public
+// Runtime (delegating to its registry), which is how the query
+// service daemon concatenates runtime and server-level series on one
+// /metrics endpoint without a second registry plumbing path.
+type Exposition interface {
+	WritePrometheus(w io.Writer)
+}
+
+// NewMux returns the observability mux: /metrics rendering every
+// exposition in order (one concatenated document — callers must keep
+// family names disjoint across expositions), /debug/pprof/* the
+// standard Go profiling handlers (profile, heap, goroutine, trace,
+// ...). Exposed separately from Serve so daemons can mount it on
+// their own listener.
+func NewMux(exps ...Exposition) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		reg.WritePrometheus(w)
+		for _, e := range exps {
+			if e != nil {
+				e.WritePrometheus(w)
+			}
+		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -38,12 +54,12 @@ func NewMux(reg *Registry) *http.ServeMux {
 
 // Serve binds addr (":0" picks a free port; query the result with
 // Addr) and serves the observability mux on it until Close.
-func Serve(addr string, reg *Registry) (*Server, error) {
+func Serve(addr string, exps ...Exposition) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(reg)}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(exps...)}}
 	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return s, nil
 }

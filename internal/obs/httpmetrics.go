@@ -1,0 +1,110 @@
+package obs
+
+// HTTP request metrics for daemons serving the runtime over the
+// network (cmd/joinserve). One HTTPMetrics registers a small family
+// set into a Registry and wraps handlers with the instrumentation:
+// requests by route, responses by status code, a latency histogram,
+// an in-flight gauge and a response-bytes counter. The wrapper
+// preserves http.Flusher so chunked/streamed responses keep flushing
+// through it.
+
+import (
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// HTTPMetrics instruments HTTP handlers and exposes the results as
+// Prometheus-style series.
+type HTTPMetrics struct {
+	inflight  atomic.Int64
+	requests  *CounterVec // by route
+	responses *CounterVec // by status code
+	seconds   *Histogram
+	respBytes *Counter
+}
+
+// NewHTTPMetrics registers the HTTP family set into reg and returns
+// the instrumenting handle:
+//
+//	<prefix>_http_requests_total{route=...}   requests accepted per route
+//	<prefix>_http_responses_total{code=...}   responses by status code
+//	<prefix>_http_request_seconds             handler latency histogram
+//	<prefix>_http_inflight_requests           currently executing handlers
+//	<prefix>_http_response_bytes_total        body bytes written
+func NewHTTPMetrics(reg *Registry, prefix string) *HTTPMetrics {
+	m := &HTTPMetrics{}
+	m.requests = reg.CounterVec(prefix+"_http_requests_total",
+		"HTTP requests accepted, by route.", "route")
+	m.responses = reg.CounterVec(prefix+"_http_responses_total",
+		"HTTP responses sent, by status code.", "code")
+	m.seconds = reg.Histogram(prefix+"_http_request_seconds",
+		"HTTP handler latency (request start to handler return).",
+		ExpBuckets(1e-4, 4, 10))
+	reg.GaugeFunc(prefix+"_http_inflight_requests",
+		"HTTP requests currently executing.",
+		func() float64 { return float64(m.inflight.Load()) })
+	m.respBytes = reg.Counter(prefix+"_http_response_bytes_total",
+		"HTTP response body bytes written.")
+	return m
+}
+
+// Wrap instruments h under the given route label.
+func (m *HTTPMetrics) Wrap(route string, h http.Handler) http.Handler {
+	reqs := m.requests.With(route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
+		m.inflight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r)
+		m.inflight.Add(-1)
+		m.seconds.Observe(time.Since(start).Seconds())
+		m.responses.With(strconv.Itoa(sw.Status())).Inc()
+		m.respBytes.Add(float64(sw.bytes))
+	})
+}
+
+// statusWriter records the status code and body bytes of a response.
+// It forwards Flush so streamed NDJSON responses keep their per-chunk
+// flushes through the instrumentation layer.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+// Status returns the response code (200 when the handler never called
+// WriteHeader explicitly but wrote a body, 0 when nothing was written
+// — reported as 200, the net/http default).
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it supports flushing
+// (net/http response writers do; httptest recorders too).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The wrapper must count requests/responses/bytes, preserve the
+// handler's status code, and keep http.Flusher reachable for
+// streaming handlers.
+func TestHTTPMetricsWrap(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, "t")
+	flushed := false
+	h := m.Wrap("/v1/query", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte("hello")) //nolint:errcheck
+		// Flushing after the body must reach the underlying writer
+		// (streamed responses flush per chunk).
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Error("instrumented writer lost http.Flusher")
+		} else {
+			f.Flush()
+			flushed = true
+		}
+	}))
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/query", nil))
+		if rec.Code != http.StatusTeapot {
+			t.Fatalf("status %d, want 418", rec.Code)
+		}
+	}
+	if !flushed {
+		t.Fatal("Flush never reached the underlying writer")
+	}
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	samples := ParseSamples(sb.String())
+	if got := samples[`t_http_requests_total{route="/v1/query"}`]; got != 3 {
+		t.Fatalf("requests_total = %g, want 3", got)
+	}
+	if got := samples[`t_http_responses_total{code="418"}`]; got != 3 {
+		t.Fatalf("responses_total{418} = %g, want 3", got)
+	}
+	if got := samples[`t_http_response_bytes_total`]; got != 15 {
+		t.Fatalf("response_bytes_total = %g, want 15", got)
+	}
+	if got := samples[`t_http_inflight_requests`]; got != 0 {
+		t.Fatalf("inflight = %g, want 0", got)
+	}
+}
+
+// A handler that writes a body without an explicit WriteHeader must
+// be counted as 200.
+func TestHTTPMetricsImplicitOK(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, "u")
+	h := m.Wrap("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok")) //nolint:errcheck
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if got := ParseSamples(sb.String())[`u_http_responses_total{code="200"}`]; got != 1 {
+		t.Fatalf("responses_total{200} = %g, want 1", got)
+	}
+}

@@ -52,7 +52,12 @@ func (r *Registry) add(f *family) {
 }
 
 // WritePrometheus renders every family in the text exposition format.
+// A nil registry renders nothing, so callers can pass through an
+// unconfigured metrics surface without guarding.
 func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
 	r.mu.Lock()
 	fams := make([]*family, len(r.fams))
 	copy(fams, r.fams)

@@ -1,0 +1,96 @@
+package server
+
+// Arrival batching: a small, configurable window that coalesces
+// same-source query arrivals into shared-scan groups. The runtime's
+// cooperative scans (RuntimeConfig.ShareScans) only co-serve queries
+// whose scans are CONCURRENTLY active — two queries over the same
+// relation that arrive a millisecond apart may each finish their scan
+// phase before the other starts, paying the base-data sweep twice.
+// Holding the first arrival of a source group for a few milliseconds
+// and releasing the whole group at once lines the scan phases up, so
+// SharedScanHits multiplies under real traffic instead of depending
+// on accidental overlap. The window is the service's one latency/
+// bandwidth knob: it bounds the extra latency any query can pay
+// (Config.BatchWindow) against the duplicate memory traffic it can
+// save.
+
+import (
+	"sync"
+	"time"
+)
+
+// released is the pre-closed gate returned when batching is off.
+var released = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// batcher groups arrivals by source key and releases each group when
+// its window expires.
+type batcher struct {
+	window time.Duration
+
+	mu     sync.Mutex
+	groups map[string]*batchGroup
+
+	// opened counts windows started (group leaders); riders counts
+	// queries that joined an existing window — the arrivals batching
+	// actually lined up.
+	opened, riders int64
+}
+
+// batchGroup is one open window: every member waits on gate.
+type batchGroup struct {
+	gate chan struct{}
+	n    int
+}
+
+func newBatcher(window time.Duration) *batcher {
+	return &batcher{window: window, groups: make(map[string]*batchGroup)}
+}
+
+// arrive registers one arrival under the given source key and returns
+// the gate to wait on before executing. The first arrival of a key
+// opens a window and starts its timer; later arrivals join the open
+// window. When the window expires the whole group releases at once
+// (and the key resets, so the next arrival opens a fresh window).
+// With batching off the returned gate is already closed.
+func (b *batcher) arrive(key string) <-chan struct{} {
+	if b == nil || b.window <= 0 {
+		return released
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g := b.groups[key]
+	if g == nil {
+		g = &batchGroup{gate: make(chan struct{})}
+		b.groups[key] = g
+		b.opened++
+		time.AfterFunc(b.window, func() {
+			b.mu.Lock()
+			// Only delete the group this timer belongs to — a racing
+			// arrival may already have opened a successor window.
+			if b.groups[key] == g {
+				delete(b.groups, key)
+			}
+			b.mu.Unlock()
+			close(g.gate)
+		})
+	} else {
+		b.riders++
+	}
+	g.n++
+	return g.gate
+}
+
+// stats returns the windows opened and the arrivals that rode along
+// in an existing window.
+func (b *batcher) stats() (opened, riders int64) {
+	if b == nil {
+		return 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opened, b.riders
+}

@@ -1,0 +1,304 @@
+package server
+
+// POST /v1/query: decode a query spec against registered relations,
+// apply backpressure and the arrival-batching window, execute on the
+// shared runtime, and stream the result as NDJSON — one header line,
+// row-chunk lines of Config.ChunkRows rows flushed as they encode,
+// and a footer line with the timing breakdown. Streaming in chunks
+// keeps the daemon's transfer memory bounded by the chunk size (the
+// result columns themselves are the engine's output either way) and
+// lets clients start consuming rows before the encode finishes.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	rd "radixdecluster"
+)
+
+// QueryRequest is the POST /v1/query body. Larger and Smaller name
+// registered relations; everything else is optional.
+type QueryRequest struct {
+	Larger  string `json:"larger"`
+	Smaller string `json:"smaller"`
+	// LargerKey / SmallerKey default to "key".
+	LargerKey  string `json:"largerKey"`
+	SmallerKey string `json:"smallerKey"`
+	// LargerProject / SmallerProject default to every non-key column
+	// of the respective relation.
+	LargerProject  []string `json:"largerProject"`
+	SmallerProject []string `json:"smallerProject"`
+	// Strategy is a canonical strategy name ("auto",
+	// "DSM-post-decluster", "NSM-pre-phash", ...); empty means auto.
+	Strategy string `json:"strategy"`
+	// Parallelism: omitted lets the planner choose (AutoParallelism);
+	// 0 forces the serial paper mode; n >= 1 is explicit.
+	Parallelism *int `json:"parallelism"`
+	// Compression: "", "off", "auto" or "on".
+	Compression string `json:"compression"`
+	// Trace records span events; the footer reports the span count.
+	Trace bool `json:"trace"`
+	// Limit caps the rows streamed back (0 = all). The join still
+	// computes the full result; this only trims the transfer.
+	Limit int `json:"limit"`
+	// OmitRows suppresses row chunks entirely — header and footer
+	// only. For load generators and capacity tests that want engine
+	// work without transfer cost.
+	OmitRows bool `json:"omitRows"`
+}
+
+// queryHeader is the first NDJSON line of a response.
+type queryHeader struct {
+	N          int      `json:"n"`
+	Names      []string `json:"names"`
+	Plan       string   `json:"plan"`
+	Workers    int      `json:"workers"`
+	Compressed bool     `json:"compressed"`
+}
+
+// queryChunk is a row-chunk NDJSON line.
+type queryChunk struct {
+	Rows [][]int32 `json:"rows"`
+}
+
+// queryFooter is the last NDJSON line.
+type queryFooter struct {
+	RowsStreamed   int        `json:"rowsStreamed"`
+	Timing         wireTiming `json:"timing"`
+	SharedScanHits int64      `json:"sharedScanHits"`
+	TraceSpans     int        `json:"traceSpans,omitempty"`
+}
+
+// wireTiming is Timing flattened to milliseconds for the wire.
+type wireTiming struct {
+	ScanMs           float64 `json:"scanMs"`
+	JoinMs           float64 `json:"joinMs"`
+	ReorderJIMs      float64 `json:"reorderJIMs"`
+	ProjectLargerMs  float64 `json:"projectLargerMs"`
+	ProjectSmallerMs float64 `json:"projectSmallerMs"`
+	DeclusterMs      float64 `json:"declusterMs"`
+	QueueMs          float64 `json:"queueMs"`
+	TotalMs          float64 `json:"totalMs"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func toWire(t rd.Timing) wireTiming {
+	return wireTiming{
+		ScanMs: ms(t.Scan), JoinMs: ms(t.Join), ReorderJIMs: ms(t.ReorderJI),
+		ProjectLargerMs: ms(t.ProjectLarger), ProjectSmallerMs: ms(t.ProjectSmaller),
+		DeclusterMs: ms(t.Decluster), QueueMs: ms(t.Queue), TotalMs: ms(t.Total),
+	}
+}
+
+func parseCompression(s string) (rd.Compression, error) {
+	switch s {
+	case "", "off":
+		return rd.CompressionOff, nil
+	case "auto":
+		return rd.CompressionAuto, nil
+	case "on":
+		return rd.CompressionOn, nil
+	}
+	return 0, fmt.Errorf("unknown compression %q (want off, auto or on)", s)
+}
+
+// nonKeyColumns returns rel's columns except the join key, the
+// default projection list.
+func nonKeyColumns(rel *rd.Relation, key string) []string {
+	var out []string
+	for _, n := range rel.ColumnNames() {
+		if n != key {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		jsonError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+
+	// Join the in-flight set BEFORE checking the drain flag: Drain
+	// flips the flag first and then waits, so any request it can miss
+	// seeing here is one that will observe draining and bail.
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if s.draining.Load() {
+		s.drained.Add(1)
+		jsonError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.active.Add(1)
+	defer s.active.Add(-1)
+
+	var req QueryRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			jsonError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return
+		}
+		jsonError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+
+	larger, ok := s.relation(req.Larger)
+	if !ok {
+		jsonError(w, http.StatusNotFound, fmt.Sprintf(
+			"unknown relation %q (registered: %s)", req.Larger, strings.Join(s.sortedNames(), ", ")))
+		return
+	}
+	smaller, ok := s.relation(req.Smaller)
+	if !ok {
+		jsonError(w, http.StatusNotFound, fmt.Sprintf(
+			"unknown relation %q (registered: %s)", req.Smaller, strings.Join(s.sortedNames(), ", ")))
+		return
+	}
+
+	q := rd.JoinQuery{
+		Larger: larger, Smaller: smaller,
+		LargerKey: req.LargerKey, SmallerKey: req.SmallerKey,
+		Runtime: s.cfg.Runtime,
+		Trace:   req.Trace,
+	}
+	if q.LargerKey == "" {
+		q.LargerKey = "key"
+	}
+	if q.SmallerKey == "" {
+		q.SmallerKey = "key"
+	}
+	q.LargerProject = req.LargerProject
+	if q.LargerProject == nil {
+		q.LargerProject = nonKeyColumns(larger, q.LargerKey)
+	}
+	q.SmallerProject = req.SmallerProject
+	if q.SmallerProject == nil {
+		q.SmallerProject = nonKeyColumns(smaller, q.SmallerKey)
+	}
+	if req.Strategy != "" {
+		st, err := rd.ParseStrategy(req.Strategy)
+		if err != nil {
+			jsonError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		q.Strategy = st
+	}
+	comp, err := parseCompression(req.Compression)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	q.Compression = comp
+	q.Parallelism = rd.AutoParallelism
+	if req.Parallelism != nil {
+		q.Parallelism = *req.Parallelism
+	}
+
+	// Backpressure: once the runtime's admission queue is deeper than
+	// the watermark, queueing more work only grows every query's wait
+	// — tell the client to come back instead. Checked before the
+	// batching window so a rejected query never holds a window open.
+	if s.cfg.QueueWatermark > 0 && s.cfg.Runtime.QueuedQueries() >= s.cfg.QueueWatermark {
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg)))
+		jsonError(w, http.StatusTooManyRequests, fmt.Sprintf(
+			"admission queue depth %d at watermark %d; retry later",
+			s.cfg.Runtime.QueuedQueries(), s.cfg.QueueWatermark))
+		return
+	}
+
+	// Arrival batching: hold until this source pair's window closes so
+	// same-source arrivals enter the runtime together and their scan
+	// phases co-schedule into one shared pass.
+	select {
+	case <-s.batch.arrive(req.Larger + "\x00" + req.Smaller):
+	case <-r.Context().Done():
+		return // client gone while waiting; nothing to answer
+	}
+
+	s.accepted.Add(1)
+	res, err := rd.ProjectJoin(q)
+	if err != nil {
+		s.failed.Add(1)
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.succeeded.Add(1)
+	s.streamResult(w, &req, res)
+}
+
+// retryAfterSeconds suggests a client wait: at least one second, or
+// the batching window rounded up when it is the longer of the two.
+func retryAfterSeconds(cfg Config) int {
+	secs := int((cfg.BatchWindow + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// streamResult encodes res as NDJSON: header, row chunks, footer.
+// Each chunk is flushed as soon as it is encoded.
+func (s *Server) streamResult(w http.ResponseWriter, req *QueryRequest, res *rd.Result) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	enc.Encode(queryHeader{ //nolint:errcheck // client gone: abandon
+		N: res.N, Names: res.Names, Plan: res.Plan,
+		Workers: res.Workers, Compressed: res.Compressed,
+	})
+
+	n := res.N
+	if req.OmitRows {
+		n = 0
+	} else if req.Limit > 0 && req.Limit < n {
+		n = req.Limit
+	}
+	for lo := 0; lo < n; lo += s.cfg.ChunkRows {
+		hi := lo + s.cfg.ChunkRows
+		if hi > n {
+			hi = n
+		}
+		chunk := queryChunk{Rows: make([][]int32, 0, hi-lo)}
+		for i := lo; i < hi; i++ {
+			row := make([]int32, len(res.Cols))
+			for c := range res.Cols {
+				row[c] = res.Cols[c][i]
+			}
+			chunk.Rows = append(chunk.Rows, row)
+		}
+		if err := enc.Encode(chunk); err != nil {
+			return // client gone mid-stream
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	s.rows.Add(int64(n))
+
+	foot := queryFooter{
+		RowsStreamed:   n,
+		Timing:         toWire(res.Timing),
+		SharedScanHits: res.Timing.SharedScanHits,
+	}
+	if res.Trace != nil {
+		foot.TraceSpans = res.Trace.Spans()
+	}
+	enc.Encode(foot) //nolint:errcheck
+	if flusher != nil {
+		flusher.Flush()
+	}
+}

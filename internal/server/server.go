@@ -1,0 +1,352 @@
+// Package server is the query service daemon behind cmd/joinserve:
+// an HTTP front door for one process-wide radixdecluster.Runtime.
+//
+// The runtime is already a multi-tenant scheduler — fair query-tagged
+// morsel scheduling, adaptive admission, cooperative scan sharing,
+// arena-pooled execution memory — and this package adds the three
+// things a network service needs on top:
+//
+//   - A JSON API over named, pre-registered relations: POST /v1/query
+//     executes a project-join with per-request strategy, parallelism,
+//     compression and trace options; GET /v1/relations lists what can
+//     be queried; GET /v1/status reports queue depth, scheduler and
+//     memory-pool statistics.
+//   - An arrival-batching window (batch.go) that coalesces
+//     same-source arrivals into shared-scan groups, and chunked
+//     NDJSON result streaming so large projections are encoded and
+//     flushed chunk by chunk instead of buffered whole.
+//   - Explicit backpressure and drain: 429 + Retry-After once the
+//     admission queue crosses a watermark, 503 during drain, and a
+//     Drain that waits for in-flight queries so SIGTERM never kills a
+//     running query.
+//
+// Telemetry reuses internal/obs end to end: the handler mux IS
+// obs.NewMux — /metrics renders the runtime's series (via the public
+// Runtime.WritePrometheus hook) concatenated with the server's own
+// HTTP/batching series, and /debug/pprof comes along for free.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	rd "radixdecluster"
+
+	"radixdecluster/internal/obs"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Runtime is the shared execution runtime every query runs on.
+	// Required. Build it with RuntimeConfig.Metrics (and usually
+	// ShareScans) so /metrics has runtime series to render.
+	Runtime *rd.Runtime
+	// BatchWindow is the arrival-coalescing window: the first query
+	// over a source pair waits at most this long for same-source
+	// arrivals to line up into one shared-scan group. 0 disables
+	// batching (every query dispatches immediately).
+	BatchWindow time.Duration
+	// QueueWatermark is the backpressure threshold: when the runtime's
+	// admission queue depth reaches it, POST /v1/query answers 429
+	// with a Retry-After header instead of queueing more work behind
+	// an already-saturated machine. <= 0 derives 2 ×
+	// Runtime.MaxConcurrentQueries() — enough queue to keep admission
+	// busy, shallow enough that waiting is shorter than retrying.
+	QueueWatermark int
+	// MaxBodyBytes caps a query request body; larger bodies get 413.
+	// <= 0 selects 1 MiB — generous for a query spec, small enough
+	// that a misdirected bulk upload cannot balloon the daemon.
+	MaxBodyBytes int64
+	// ChunkRows is the number of result rows encoded and flushed per
+	// NDJSON chunk. <= 0 selects 8192 (~64 KiB chunks for a 2-column
+	// result).
+	ChunkRows int
+}
+
+// Server routes HTTP requests onto a shared runtime. Create with New,
+// register relations with Register, mount Handler on a listener, and
+// call BeginDrain + Drain on shutdown.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	start time.Time
+
+	relMu sync.RWMutex
+	rels  map[string]*rd.Relation
+	order []string // registration order, for stable listings
+
+	batch    *batcher
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	active   atomic.Int64
+
+	// Server-level counters (the runtime keeps its own).
+	accepted  atomic.Int64 // queries dispatched to the runtime
+	succeeded atomic.Int64
+	failed    atomic.Int64 // dispatched but errored
+	rejected  atomic.Int64 // 429 backpressure
+	drained   atomic.Int64 // 503 during drain
+	rows      atomic.Int64 // result rows streamed
+
+	reg *obs.Registry // server-level metric series
+	hm  *obs.HTTPMetrics
+}
+
+// New builds a server around cfg.Runtime.
+func New(cfg Config) (*Server, error) {
+	if cfg.Runtime == nil {
+		return nil, errors.New("server: Config.Runtime is required")
+	}
+	if cfg.QueueWatermark <= 0 {
+		cfg.QueueWatermark = 2 * cfg.Runtime.MaxConcurrentQueries()
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.ChunkRows <= 0 {
+		cfg.ChunkRows = 8192
+	}
+	s := &Server{
+		cfg:   cfg,
+		start: time.Now(),
+		rels:  make(map[string]*rd.Relation),
+		batch: newBatcher(cfg.BatchWindow),
+		reg:   obs.NewRegistry(),
+	}
+	s.hm = obs.NewHTTPMetrics(s.reg, "radixdecluster_server")
+	s.reg.CounterFunc("radixdecluster_server_queries_accepted_total",
+		"Queries dispatched to the runtime.",
+		func() float64 { return float64(s.accepted.Load()) })
+	s.reg.CounterFunc("radixdecluster_server_queries_rejected_total",
+		"Queries rejected with 429 because the admission queue crossed the watermark.",
+		func() float64 { return float64(s.rejected.Load()) })
+	s.reg.CounterFunc("radixdecluster_server_batch_windows_total",
+		"Arrival-batching windows opened (group leaders).",
+		func() float64 { o, _ := s.batch.stats(); return float64(o) })
+	s.reg.CounterFunc("radixdecluster_server_batched_queries_total",
+		"Queries that joined an already-open batching window (shared-scan group riders).",
+		func() float64 { _, r := s.batch.stats(); return float64(r) })
+	s.reg.CounterFunc("radixdecluster_server_result_rows_total",
+		"Result rows streamed to clients.",
+		func() float64 { return float64(s.rows.Load()) })
+	s.reg.GaugeFunc("radixdecluster_server_draining",
+		"1 while the server is draining (rejecting new queries), else 0.",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+
+	// One mux, one telemetry path: /metrics renders runtime + server
+	// series, pprof rides along (obs.NewMux), and the API routes are
+	// added on the same mux.
+	s.mux = obs.NewMux(cfg.Runtime, s.reg)
+	s.mux.Handle("/v1/query", s.hm.Wrap("/v1/query", http.HandlerFunc(s.handleQuery)))
+	s.mux.Handle("/v1/relations", s.hm.Wrap("/v1/relations", http.HandlerFunc(s.handleRelations)))
+	s.mux.Handle("/v1/status", s.hm.Wrap("/v1/status", http.HandlerFunc(s.handleStatus)))
+	return s, nil
+}
+
+// Register makes rel queryable under rel.Name. Registration is
+// typically done before serving; it is safe concurrently with
+// queries, but a name can only be bound once.
+func (s *Server) Register(rel *rd.Relation) error {
+	if rel == nil || rel.Name == "" {
+		return errors.New("server: relation must be non-nil and named")
+	}
+	s.relMu.Lock()
+	defer s.relMu.Unlock()
+	if _, dup := s.rels[rel.Name]; dup {
+		return fmt.Errorf("server: relation %q already registered", rel.Name)
+	}
+	s.rels[rel.Name] = rel
+	s.order = append(s.order, rel.Name)
+	return nil
+}
+
+// Handler returns the server's HTTP handler: the API routes plus
+// /metrics and /debug/pprof on one mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain flips the server into drain mode: every subsequent
+// query answers 503 ("draining") while in-flight queries keep
+// running. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Drain blocks until every in-flight query has completed (streaming
+// included) or ctx expires. Call BeginDrain first so the in-flight
+// set can only shrink.
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain: %d queries still in flight: %w",
+			s.active.Load(), ctx.Err())
+	}
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// relation resolves a registered relation by name.
+func (s *Server) relation(name string) (*rd.Relation, bool) {
+	s.relMu.RLock()
+	defer s.relMu.RUnlock()
+	r, ok := s.rels[name]
+	return r, ok
+}
+
+// RelationInfo is one entry of GET /v1/relations.
+type RelationInfo struct {
+	Name       string   `json:"name"`
+	Rows       int      `json:"rows"`
+	Columns    []string `json:"columns"`
+	Compressed bool     `json:"compressed"`
+}
+
+func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		jsonError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.relMu.RLock()
+	out := make([]RelationInfo, 0, len(s.order))
+	for _, name := range s.order {
+		rel := s.rels[name]
+		out = append(out, RelationInfo{
+			Name: name, Rows: rel.Len(),
+			Columns: rel.ColumnNames(), Compressed: rel.Compressed(),
+		})
+	}
+	s.relMu.RUnlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// Status is the GET /v1/status document: the runtime's scheduling /
+// admission / sharing / memory counters plus the server's own.
+type Status struct {
+	// Runtime capacity and load.
+	Workers              int `json:"workers"`
+	MaxConcurrentQueries int `json:"maxConcurrentQueries"`
+	ActiveQueries        int `json:"activeQueries"`
+	QueuedQueries        int `json:"queuedQueries"`
+	// Scan sharing.
+	ShareScans     bool  `json:"shareScans"`
+	SharedScanHits int64 `json:"sharedScanHits"`
+	// Scheduler counters (lifetime) and windowed rates.
+	Sched         rd.SchedStats `json:"sched"`
+	WarmHitRate   float64       `json:"warmHitRate"`
+	WindowedWarm  float64       `json:"windowedWarmHitRate"`
+	SchedWindows  int64         `json:"schedWindows"`
+	PinnedWorkers int           `json:"pinnedWorkers"`
+	// Execution-memory arena.
+	MemPooled bool            `json:"memPooled"`
+	MemPool   rd.MemPoolStats `json:"memPool"`
+	// Server-level counters.
+	Server ServerStatus `json:"server"`
+}
+
+// ServerStatus is the server-level half of Status.
+type ServerStatus struct {
+	UptimeSeconds  float64 `json:"uptimeSeconds"`
+	Draining       bool    `json:"draining"`
+	InflightNow    int64   `json:"inflight"`
+	Accepted       int64   `json:"queriesAccepted"`
+	Succeeded      int64   `json:"queriesSucceeded"`
+	Failed         int64   `json:"queriesFailed"`
+	Rejected429    int64   `json:"queriesRejected"`
+	RejectedDrain  int64   `json:"queriesRejectedDraining"`
+	RowsStreamed   int64   `json:"rowsStreamed"`
+	BatchWindowMs  float64 `json:"batchWindowMs"`
+	BatchWindows   int64   `json:"batchWindows"`
+	BatchedQueries int64   `json:"batchedQueries"`
+	QueueWatermark int     `json:"queueWatermark"`
+	Relations      int     `json:"relations"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		jsonError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Status())
+}
+
+// Status snapshots the full /v1/status document (also used by
+// joinserve for its shutdown summary).
+func (s *Server) Status() Status {
+	rt := s.cfg.Runtime
+	win := rt.SchedStatsWindow()
+	opened, riders := s.batch.stats()
+	s.relMu.RLock()
+	nrels := len(s.rels)
+	s.relMu.RUnlock()
+	return Status{
+		Workers:              rt.Workers(),
+		MaxConcurrentQueries: rt.MaxConcurrentQueries(),
+		ActiveQueries:        rt.ActiveQueries(),
+		QueuedQueries:        rt.QueuedQueries(),
+		ShareScans:           rt.ShareScans(),
+		SharedScanHits:       rt.SharedScanHits(),
+		Sched:                rt.SchedStats(),
+		WarmHitRate:          rt.SchedStats().WarmHitRate(),
+		WindowedWarm:         win.WarmHitRate(),
+		SchedWindows:         win.Windows,
+		PinnedWorkers:        rt.PinnedWorkers(),
+		MemPooled:            rt.MemPooled(),
+		MemPool:              rt.MemPoolStats(),
+		Server: ServerStatus{
+			UptimeSeconds:  time.Since(s.start).Seconds(),
+			Draining:       s.draining.Load(),
+			InflightNow:    s.active.Load(),
+			Accepted:       s.accepted.Load(),
+			Succeeded:      s.succeeded.Load(),
+			Failed:         s.failed.Load(),
+			Rejected429:    s.rejected.Load(),
+			RejectedDrain:  s.drained.Load(),
+			RowsStreamed:   s.rows.Load(),
+			BatchWindowMs:  float64(s.cfg.BatchWindow) / float64(time.Millisecond),
+			BatchWindows:   opened,
+			BatchedQueries: riders,
+			QueueWatermark: s.cfg.QueueWatermark,
+			Relations:      nrels,
+		},
+	}
+}
+
+// writeJSON renders v as a one-shot JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) //nolint:errcheck // client gone: nothing to do
+}
+
+// jsonError renders {"error": msg}.
+func jsonError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// sortedNames returns the registered relation names (for error
+// messages that list what exists).
+func (s *Server) sortedNames() []string {
+	s.relMu.RLock()
+	defer s.relMu.RUnlock()
+	out := append([]string(nil), s.order...)
+	sort.Strings(out)
+	return out
+}

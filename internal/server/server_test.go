@@ -1,0 +1,521 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	rd "radixdecluster"
+
+	"radixdecluster/internal/workload"
+)
+
+// testRelations builds a registered larger/smaller pair from the
+// synthetic workload generator: "key" plus payload columns a1..a{pi}.
+func testRelations(t *testing.T, n, pi int) (*rd.Relation, *rd.Relation) {
+	t.Helper()
+	pr, err := workload.GenPair(workload.Params{
+		N: n, Omega: pi + 1, HitRate: 1, SelLarger: 1, SelSmaller: 1, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, wr *workload.Relation) *rd.Relation {
+		cols := []rd.Column{{Name: "key", Values: wr.Key()}}
+		for j := 1; j <= pi; j++ {
+			cols = append(cols, rd.Column{Name: fmt.Sprintf("a%d", j), Values: wr.PayloadCol(j)})
+		}
+		rel, err := rd.NewRelation(name, cols...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rel
+	}
+	return mk("larger", pr.Larger), mk("smaller", pr.Smaller)
+}
+
+// newTestServer assembles runtime + server + httptest listener.
+func newTestServer(t *testing.T, rtCfg rd.RuntimeConfig, cfg Config, n, pi int) (*Server, *httptest.Server) {
+	t.Helper()
+	rtCfg.Metrics = true
+	rt := rd.NewRuntime(rtCfg)
+	t.Cleanup(rt.Close)
+	cfg.Runtime = rt
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	larger, smaller := testRelations(t, n, pi)
+	if err := s.Register(larger); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(smaller); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postQuery(t *testing.T, url string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// ndjsonResult is a parsed streamed response.
+type ndjsonResult struct {
+	header queryHeader
+	rows   [][]int32
+	footer queryFooter
+}
+
+func parseNDJSON(t *testing.T, r io.Reader) ndjsonResult {
+	t.Helper()
+	var out ndjsonResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	line := 0
+	var lastRaw []byte
+	for sc.Scan() {
+		raw := append([]byte(nil), sc.Bytes()...)
+		if line == 0 {
+			if err := json.Unmarshal(raw, &out.header); err != nil {
+				t.Fatalf("header: %v in %s", err, raw)
+			}
+		} else {
+			var chunk queryChunk
+			if err := json.Unmarshal(raw, &chunk); err != nil {
+				t.Fatalf("line %d: %v", line, err)
+			}
+			out.rows = append(out.rows, chunk.Rows...)
+		}
+		lastRaw = raw
+		line++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if line < 2 {
+		t.Fatalf("NDJSON stream has %d lines, want >= 2", line)
+	}
+	// The last line is the footer, not a chunk (it parsed as an empty
+	// chunk above — reparse and drop it).
+	if err := json.Unmarshal(lastRaw, &out.footer); err != nil {
+		t.Fatalf("footer: %v", err)
+	}
+	return out
+}
+
+func getStatus(t *testing.T, url string) Status {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// A full round trip: query executes, rows stream back in chunks, the
+// footer carries timing, and the result matches a direct ProjectJoin.
+func TestQueryStream(t *testing.T) {
+	s, ts := newTestServer(t, rd.RuntimeConfig{Workers: 2, MaxConcurrentQueries: 2},
+		Config{ChunkRows: 100}, 1000, 2)
+	resp := postQuery(t, ts.URL, `{"larger":"larger","smaller":"smaller","parallelism":0,"trace":true}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	got := parseNDJSON(t, resp.Body)
+
+	larger, _ := s.relation("larger")
+	smaller, _ := s.relation("smaller")
+	want, err := rd.ProjectJoin(rd.JoinQuery{
+		Larger: larger, Smaller: smaller, LargerKey: "key", SmallerKey: "key",
+		LargerProject: []string{"a1", "a2"}, SmallerProject: []string{"a1", "a2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.header.N != want.N || len(got.rows) != want.N {
+		t.Fatalf("n=%d rows=%d, want %d", got.header.N, len(got.rows), want.N)
+	}
+	if len(got.header.Names) != 4 {
+		t.Fatalf("names = %v", got.header.Names)
+	}
+	for i, row := range got.rows {
+		for c := range row {
+			if row[c] != want.Cols[c][i] {
+				t.Fatalf("row %d col %d = %d, want %d", i, c, row[c], want.Cols[c][i])
+			}
+		}
+	}
+	if got.footer.RowsStreamed != want.N {
+		t.Fatalf("footer rowsStreamed = %d, want %d", got.footer.RowsStreamed, want.N)
+	}
+	if got.footer.Timing.TotalMs <= 0 {
+		t.Fatal("footer timing missing")
+	}
+	if got.footer.TraceSpans == 0 {
+		t.Fatal("trace requested but footer reports 0 spans")
+	}
+
+	// Limit trims the transfer, not the result.
+	resp = postQuery(t, ts.URL, `{"larger":"larger","smaller":"smaller","parallelism":0,"limit":7}`)
+	defer resp.Body.Close()
+	lim := parseNDJSON(t, resp.Body)
+	if lim.header.N != want.N || len(lim.rows) != 7 {
+		t.Fatalf("limit: n=%d rows=%d, want n=%d rows=7", lim.header.N, len(lim.rows), want.N)
+	}
+
+	// OmitRows: header and footer only.
+	resp = postQuery(t, ts.URL, `{"larger":"larger","smaller":"smaller","parallelism":0,"omitRows":true}`)
+	defer resp.Body.Close()
+	omit := parseNDJSON(t, resp.Body)
+	if len(omit.rows) != 0 || omit.header.N != want.N {
+		t.Fatalf("omitRows: rows=%d n=%d", len(omit.rows), omit.header.N)
+	}
+}
+
+// The validation surface: wrong method, malformed body, unknown
+// field, unknown relation, bad strategy, bad compression, oversized
+// body.
+func TestQueryValidation(t *testing.T) {
+	_, ts := newTestServer(t, rd.RuntimeConfig{Workers: 1, MaxConcurrentQueries: 1},
+		Config{MaxBodyBytes: 512}, 64, 1)
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"bad strategy", `{"larger":"larger","smaller":"smaller","strategy":"DSM-quantum"}`, 400},
+		{"unknown relation", `{"larger":"nope","smaller":"smaller"}`, 404},
+		{"unknown smaller", `{"larger":"larger","smaller":"nope"}`, 404},
+		{"bad compression", `{"larger":"larger","smaller":"smaller","compression":"zstd"}`, 400},
+		{"unknown field", `{"larger":"larger","smaller":"smaller","turbo":true}`, 400},
+		{"syntax", `{"larger":`, 400},
+		{"unknown column", `{"larger":"larger","smaller":"smaller","largerProject":["zz"],"parallelism":0}`, 400},
+		{"oversized", `{"larger":"larger","smaller":"smaller","strategy":"` + strings.Repeat("x", 600) + `"}`, 413},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp := postQuery(t, ts.URL, c.body)
+			defer resp.Body.Close()
+			if resp.StatusCode != c.want {
+				b, _ := io.ReadAll(resp.Body)
+				t.Fatalf("status %d, want %d (%s)", resp.StatusCode, c.want, b)
+			}
+			var e map[string]string
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e["error"] == "" {
+				t.Fatalf("error body missing: %v %v", e, err)
+			}
+		})
+	}
+	resp, err := http.Get(ts.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/query = %d, want 405", resp.StatusCode)
+	}
+}
+
+// /v1/relations lists registrations; /v1/status reports runtime and
+// server counters; /metrics renders both runtime and server series on
+// the one mux.
+func TestRelationsStatusMetrics(t *testing.T) {
+	_, ts := newTestServer(t, rd.RuntimeConfig{Workers: 2, MaxConcurrentQueries: 2},
+		Config{}, 256, 2)
+
+	resp, err := http.Get(ts.URL + "/v1/relations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rels []RelationInfo
+	if err := json.NewDecoder(resp.Body).Decode(&rels); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(rels) != 2 || rels[0].Name != "larger" || rels[1].Name != "smaller" {
+		t.Fatalf("relations = %+v", rels)
+	}
+	if rels[0].Rows != 256 || len(rels[0].Columns) != 3 {
+		t.Fatalf("larger info = %+v", rels[0])
+	}
+
+	// Run one query so the counters move.
+	qresp := postQuery(t, ts.URL, `{"larger":"larger","smaller":"smaller","parallelism":0}`)
+	io.Copy(io.Discard, qresp.Body) //nolint:errcheck
+	qresp.Body.Close()
+
+	st := getStatus(t, ts.URL)
+	if st.Workers != 2 || st.MaxConcurrentQueries != 2 {
+		t.Fatalf("status runtime shape = %+v", st)
+	}
+	if st.Server.Accepted != 1 || st.Server.Succeeded != 1 || st.Server.RowsStreamed != 256 {
+		t.Fatalf("status server counters = %+v", st.Server)
+	}
+	if st.Server.Relations != 2 || st.Server.UptimeSeconds <= 0 {
+		t.Fatalf("status server = %+v", st.Server)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, series := range []string{
+		"radixdecluster_queries_total",                 // runtime series
+		"radixdecluster_server_http_requests_total",    // server HTTP series
+		"radixdecluster_server_queries_accepted_total", // server counter
+		"radixdecluster_server_result_rows_total",      // streamed rows
+	} {
+		if !bytes.Contains(mb, []byte(series)) {
+			t.Fatalf("/metrics missing %s:\n%s", series, mb)
+		}
+	}
+}
+
+// Two same-source arrivals inside one batching window must release
+// together and co-schedule their scans: SharedScanHits > 0. Sharing
+// needs the scan phases to overlap once released, so the assertion
+// retries a few times like the engine's own shared-scan test.
+func TestBatchingWindowSharesScans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s, ts := newTestServer(t, rd.RuntimeConfig{
+		Workers: 4, MaxConcurrentQueries: 4, ShareScans: true,
+	}, Config{BatchWindow: 30 * time.Millisecond}, 256<<10, 2)
+
+	body := `{"larger":"larger","smaller":"smaller","strategy":"NSM-post-decluster","parallelism":4,"omitRows":true}`
+	const streams = 4
+	for attempt := 0; attempt < 10; attempt++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, streams)
+		for i := 0; i < streams; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != 200 {
+					b, _ := io.ReadAll(resp.Body)
+					errs <- fmt.Errorf("status %d: %s", resp.StatusCode, b)
+					return
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		st := getStatus(t, ts.URL)
+		if st.SharedScanHits > 0 {
+			if st.Server.BatchedQueries == 0 {
+				t.Fatalf("shared hits without batched riders: %+v", st.Server)
+			}
+			return
+		}
+	}
+	opened, riders := s.batch.stats()
+	t.Fatalf("no shared scan hits after 10 batched rounds (windows=%d riders=%d)", opened, riders)
+}
+
+// Once the admission queue reaches the watermark, POST /v1/query
+// answers 429 with Retry-After instead of queueing more work.
+func TestBackpressure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s, ts := newTestServer(t, rd.RuntimeConfig{
+		Workers: 2, MaxConcurrentQueries: 1,
+	}, Config{QueueWatermark: 1}, 128<<10, 2)
+	larger, _ := s.relation("larger")
+	smaller, _ := s.relation("smaller")
+	q := rd.JoinQuery{
+		Larger: larger, Smaller: smaller, LargerKey: "key", SmallerKey: "key",
+		LargerProject: []string{"a1"}, SmallerProject: []string{"a1"},
+		Strategy: rd.NSMPostDecluster, Parallelism: 2, Runtime: s.cfg.Runtime,
+	}
+	for attempt := 0; attempt < 10; attempt++ {
+		// Fill the admission queue directly on the runtime (admit=1:
+		// one runs, the rest wait FIFO).
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rd.ProjectJoin(q) //nolint:errcheck
+			}()
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		got429 := false
+		for time.Now().Before(deadline) {
+			if s.cfg.Runtime.QueuedQueries() < 1 {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			resp := postQuery(t, ts.URL, `{"larger":"larger","smaller":"smaller","parallelism":2,"omitRows":true}`)
+			code := resp.StatusCode
+			ra := resp.Header.Get("Retry-After")
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if code == http.StatusTooManyRequests {
+				if ra == "" {
+					t.Fatal("429 without Retry-After")
+				}
+				got429 = true
+				break
+			}
+			// The queue drained between the check and the probe — the
+			// query just ran; go around again.
+		}
+		wg.Wait()
+		if got429 {
+			if st := getStatus(t, ts.URL); st.Server.Rejected429 == 0 {
+				t.Fatalf("429 sent but counter is 0: %+v", st.Server)
+			}
+			return
+		}
+	}
+	t.Fatal("never observed a 429 with the admission queue at the watermark")
+}
+
+// Drain: in-flight queries complete with 200, new arrivals get 503,
+// and Drain returns once the last in-flight response finishes. The
+// batching window holds the first query in flight long enough to flip
+// the drain switch deterministically.
+func TestDrain(t *testing.T) {
+	s, ts := newTestServer(t, rd.RuntimeConfig{Workers: 2, MaxConcurrentQueries: 2},
+		Config{BatchWindow: 300 * time.Millisecond}, 1000, 1)
+
+	type result struct {
+		code int
+		rows int
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+			strings.NewReader(`{"larger":"larger","smaller":"smaller","parallelism":0}`))
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			done <- result{code: resp.StatusCode}
+			return
+		}
+		got := parseNDJSON(t, resp.Body)
+		done <- result{code: 200, rows: len(got.rows)}
+	}()
+
+	// Wait until the query is in flight (it parks in the batch window
+	// for 300ms), then start draining.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.active.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("query never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.BeginDrain()
+
+	// New arrivals are refused.
+	resp := postQuery(t, ts.URL, `{"larger":"larger","smaller":"smaller","parallelism":0}`)
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("during drain: status %d, want 503", resp.StatusCode)
+	}
+
+	// The in-flight query still completes, and Drain waits for it.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.code != 200 || r.rows != 1000 {
+		t.Fatalf("in-flight query: code=%d rows=%d, want 200/1000", r.code, r.rows)
+	}
+	if st := getStatus(t, ts.URL); !st.Server.Draining || st.Server.RejectedDrain != 1 {
+		t.Fatalf("status after drain = %+v", st.Server)
+	}
+}
+
+// The batcher itself: leaders open windows, riders join, the group
+// releases together, and a closed window resets the key.
+func TestBatcherGrouping(t *testing.T) {
+	b := newBatcher(40 * time.Millisecond)
+	g1 := b.arrive("k")
+	g2 := b.arrive("k")
+	other := b.arrive("other")
+	select {
+	case <-g1:
+		t.Fatal("gate released before the window expired")
+	case <-time.After(5 * time.Millisecond):
+	}
+	start := time.Now()
+	<-g1
+	<-g2
+	<-other
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("window never released")
+	}
+	if opened, riders := b.stats(); opened != 2 || riders != 1 {
+		t.Fatalf("opened=%d riders=%d, want 2/1", opened, riders)
+	}
+	// After release the key starts a fresh window.
+	g3 := b.arrive("k")
+	select {
+	case <-g3:
+		t.Fatal("fresh window released immediately")
+	case <-time.After(5 * time.Millisecond):
+	}
+	<-g3
+	if opened, _ := b.stats(); opened != 3 {
+		t.Fatalf("opened=%d, want 3", opened)
+	}
+
+	// Batching off: the gate is pre-released.
+	off := newBatcher(0)
+	select {
+	case <-off.arrive("k"):
+	default:
+		t.Fatal("window<=0 must return a closed gate")
+	}
+}

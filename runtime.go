@@ -2,6 +2,7 @@ package radixdecluster
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 
@@ -62,6 +63,12 @@ type RuntimeConfig struct {
 	// morsel hot path. A failed listen is recorded in
 	// Runtime.MetricsError, not fatal: the runtime still executes.
 	MetricsAddr string
+	// Metrics maintains the runtime's metrics registry without binding
+	// a listener: daemons that own an HTTP front door (cmd/joinserve)
+	// set it and render the series into their own /metrics endpoint
+	// via Runtime.WritePrometheus, instead of running a second
+	// telemetry listener. A non-empty MetricsAddr implies Metrics.
+	Metrics bool
 	// PprofLabels attaches pprof goroutine labels (query, phase,
 	// worker) to every morsel a runtime worker executes, so CPU
 	// profiles of a busy runtime break down by query and phase. Off by
@@ -227,7 +234,7 @@ func NewRuntime(cfg RuntimeConfig) *Runtime {
 	r := &Runtime{rt: exec.NewRuntimeOpts(exec.Options{
 		Workers: workers, MaxConcurrent: admit, ShareScans: cfg.ShareScans,
 		Steal: exec.StealPolicy(cfg.StealPolicy), PinWorkers: cfg.PinWorkers,
-		Metrics: cfg.MetricsAddr != "", PprofLabels: cfg.PprofLabels,
+		Metrics: cfg.Metrics || cfg.MetricsAddr != "", PprofLabels: cfg.PprofLabels,
 		MemPoolOff: cfg.MemPoolOff, MemoryBudget: cfg.MemoryBudget,
 	})}
 	if cfg.MetricsAddr != "" {
@@ -249,6 +256,15 @@ func (r *Runtime) MetricsAddr() string {
 // MetricsError returns the error from binding the metrics listener,
 // nil when it bound (or was never requested).
 func (r *Runtime) MetricsError() error { return r.metricsErr }
+
+// WritePrometheus renders the runtime's metric series in the
+// Prometheus text exposition format — the same document the
+// MetricsAddr listener serves on /metrics. It renders nothing unless
+// metrics were enabled (RuntimeConfig.Metrics or MetricsAddr). This
+// is the embedding hook for daemons that mount metrics on their own
+// listener (cmd/joinserve concatenates these series with its
+// server-level ones on one /metrics endpoint).
+func (r *Runtime) WritePrometheus(w io.Writer) { r.rt.MetricsRegistry().WritePrometheus(w) }
 
 // Workers returns the shared pool size.
 func (r *Runtime) Workers() int { return r.rt.Workers() }
