@@ -41,6 +41,19 @@
 //
 //	go test -bench 'ProjectJoin|Concurrent' -benchtime=3x -count=3 -run '^$' . |
 //	  go run ./cmd/benchjson -out BENCH_ci.json -baseline BENCH_baseline.json
+//
+// # Service-latency mode
+//
+// -load FILE switches to gating a joinload -json run report instead
+// of bench output: the report's p50/p99 latencies are compared against
+// the baseline record's "service" entry matching this run's core count
+// and wire format, failing when either percentile regressed by more
+// than -maxlatregress (service latency is noisier than ns/op, so the
+// default tolerance is wider). The same VERDICT grammar applies —
+// exactly one PASSED / FAILED / SKIPPED line per gated run.
+//
+//	joinload -wire binary -json LOAD_ci.json ... &&
+//	  go run ./cmd/benchjson -load LOAD_ci.json -baseline BENCH_baseline.json
 package main
 
 import (
@@ -73,6 +86,20 @@ type Report struct {
 	// because concurrency (and so per-op query counts) follows cores.
 	BytesPerOp  map[string]float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
+	// Service holds the machine's committed service-latency envelope,
+	// one entry per wire format, gated by -load against joinload run
+	// reports.
+	Service []ServiceRecord `json:"service,omitempty"`
+}
+
+// ServiceRecord is one committed service-latency point: the joinload
+// percentiles a runner shape is expected to reproduce for one wire
+// format. QPS is informational (the latency gate is the contract).
+type ServiceRecord struct {
+	Wire  string  `json:"wire"`
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	QPS   float64 `json:"qps,omitempty"`
 }
 
 // benchLine matches `BenchmarkName-8   3   123456 ns/op ...` and
@@ -100,9 +127,16 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline JSON record to gate against (empty = record only)")
 	maxRegress := flag.Float64("maxregress", 0.25, "fail when a benchmark is slower than baseline by more than this fraction")
 	maxAllocRegress := flag.Float64("maxallocregress", 0.25, "fail when a Concurrent benchmark's allocs/op grows over baseline by more than this fraction")
+	loadFile := flag.String("load", "", "gate a joinload -json run report instead of bench output on stdin (service-latency mode)")
+	maxLatRegress := flag.Float64("maxlatregress", 0.5, "fail when the load report's p50 or p99 exceeds the baseline service record by more than this fraction")
 	var sameRun sameRunChecks
 	flag.Var(&sameRun, "samerun", "repeatable same-run ratio gate 'slowName|fastName|limit': fail unless ns(slow) <= limit*ns(fast)")
 	flag.Parse()
+
+	if *loadFile != "" {
+		gateLoad(*loadFile, *baseline, *maxLatRegress)
+		return
+	}
 
 	rep := Report{
 		Label:      *label,
@@ -260,6 +294,86 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: VERDICT: gate PASSED (%d of %d benchmarks compared, all within %.0f%% of the %d-core baseline)\n",
 		compared, len(names), *maxRegress*100, base.Cores)
+}
+
+// gateLoad is the -load path: compare one joinload run report against
+// the committed service-latency envelope for this core count and wire
+// format. Ends with exactly one VERDICT line, like the bench gate.
+func gateLoad(loadPath, baseline string, maxRegress float64) {
+	buf, err := os.ReadFile(loadPath)
+	if err != nil {
+		fail(fmt.Errorf("load report: %w", err))
+	}
+	var lr struct {
+		Cores     int     `json:"cores"`
+		Wire      string  `json:"wire"`
+		Completed int64   `json:"completed"`
+		QPS       float64 `json:"qps"`
+		Errored   int64   `json:"errored"`
+		P50Ms     float64 `json:"p50_ms"`
+		P99Ms     float64 `json:"p99_ms"`
+	}
+	if err := json.Unmarshal(buf, &lr); err != nil {
+		fail(fmt.Errorf("load report %s: %w", loadPath, err))
+	}
+	if lr.Completed == 0 || lr.P50Ms <= 0 {
+		fail(fmt.Errorf("load report %s: no completed queries to gate on", loadPath))
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: load report %s: wire=%s cores=%d p50=%.1fms p99=%.1fms (%.1f q/s, %d completed, %d errored)\n",
+		loadPath, lr.Wire, lr.Cores, lr.P50Ms, lr.P99Ms, lr.QPS, lr.Completed, lr.Errored)
+	if lr.Errored > 0 {
+		fail(fmt.Errorf("load report %s: %d queries errored — latency numbers from a failing run gate nothing", loadPath, lr.Errored))
+	}
+	if baseline == "" {
+		return
+	}
+	records, err := readBaseline(baseline)
+	if err != nil {
+		fail(fmt.Errorf("baseline: %w", err))
+	}
+	seed := fmt.Sprintf(`{"wire":%q,"p50_ms":%.1f,"p99_ms":%.1f,"qps":%.1f}`,
+		lr.Wire, lr.P50Ms, lr.P99Ms, lr.QPS)
+	base := matchCores(records, lr.Cores)
+	if base == nil {
+		fmt.Fprintf(os.Stderr,
+			"benchjson: VERDICT: gate SKIPPED (no baseline record for %d cores — service latency only compares "+
+				"within a core count; seed a record whose \"service\" array holds %s)\n", lr.Cores, seed)
+		return
+	}
+	var sr *ServiceRecord
+	for i := range base.Service {
+		if base.Service[i].Wire == lr.Wire {
+			sr = &base.Service[i]
+			break
+		}
+	}
+	if sr == nil || sr.P50Ms <= 0 || sr.P99Ms <= 0 {
+		fmt.Fprintf(os.Stderr,
+			"benchjson: VERDICT: gate SKIPPED (the %d-core baseline record has no service entry for wire=%s — "+
+				"add %s to its \"service\" array in %s)\n", base.Cores, lr.Wire, seed, baseline)
+		return
+	}
+	regressions := 0
+	for _, p := range []struct {
+		name      string
+		got, want float64
+	}{{"p50", lr.P50Ms, sr.P50Ms}, {"p99", lr.P99Ms, sr.P99Ms}} {
+		ratio := p.got / p.want
+		if ratio > 1+maxRegress {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION service %s (wire=%s): %.1fms vs baseline %.1fms (%.0f%% slower, limit %.0f%%)\n",
+				p.name, lr.Wire, p.got, p.want, (ratio-1)*100, maxRegress*100)
+			regressions++
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: ok service %s (wire=%s): %.2fx baseline\n", p.name, lr.Wire, ratio)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: VERDICT: gate FAILED (service latency for wire=%s regressed more than %.0f%% vs the %d-core baseline)\n",
+			lr.Wire, maxRegress*100, base.Cores)
+		fail(fmt.Errorf("service latency regressed more than %.0f%% vs %s", maxRegress*100, baseline))
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: VERDICT: gate PASSED (service p50/p99 for wire=%s within %.0f%% of the %d-core baseline)\n",
+		lr.Wire, maxRegress*100, base.Cores)
 }
 
 // reseedCmd renders the copy-pasteable one-liner that installs this

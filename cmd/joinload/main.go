@@ -1,7 +1,8 @@
 // Command joinload drives a running joinserve daemon with synthetic
 // query traffic and reports what the service delivered: latency
-// percentiles, achieved throughput, backpressure rejections, and the
-// shared-scan hit count the daemon's arrival batching produced.
+// percentiles, achieved throughput, transfer bandwidth, backpressure
+// rejections, and the shared-scan hit count the daemon's arrival
+// batching produced.
 //
 // Two load models:
 //
@@ -14,15 +15,27 @@
 //
 // The query mix cycles through -strategies and spreads over -sources
 // relation pairs (larger0/smaller0, larger1/smaller1, ... as
-// registered by joinserve -pairs). Responses stream as NDJSON; by
-// default the generator asks the server to omit row chunks
-// (engine-bound load), -rows streams them back too (transfer-bound).
+// registered by joinserve -pairs). By default the generator asks the
+// server to omit row chunks (engine-bound load); -rows streams them
+// back too (transfer-bound).
 //
-// -minqueries Q / -minshared S exit non-zero unless at least Q
-// queries completed / the daemon's /v1/status reports at least S
-// shared-scan hits at the end — the CI assertions that the service
-// under load genuinely executed queries and that arrival batching
-// genuinely lined up shared passes.
+// -wire selects the result encoding: ndjson (the default) or binary,
+// the internal/wire columnar frame stream negotiated via Accept. On
+// the binary leg every response is fully decoded client-side — frame
+// CRCs verified, row counts checked against the footer — so a load
+// run doubles as an end-to-end integrity check of the wire path;
+// -wirecompress auto additionally asks the server to block-compress
+// chunks that shrink.
+//
+// -json FILE writes the machine-readable run report (the same numbers
+// the text output prints) for benchjson's service-latency gate.
+//
+// -minqueries Q / -minshared S / -mincompressedframes F exit non-zero
+// unless at least Q queries completed / the daemon reports at least S
+// shared-scan hits / binary responses carried at least F compressed
+// frames — the CI assertions that the service under load genuinely
+// executed queries, batched shared passes, and exercised the
+// compressed wire path.
 package main
 
 import (
@@ -31,28 +44,34 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"radixdecluster/internal/wire"
 )
 
 // request mirrors the server's QueryRequest wire shape.
 type request struct {
-	Larger      string `json:"larger"`
-	Smaller     string `json:"smaller"`
-	Strategy    string `json:"strategy,omitempty"`
-	Parallelism *int   `json:"parallelism,omitempty"`
-	Compression string `json:"compression,omitempty"`
-	Limit       int    `json:"limit,omitempty"`
-	OmitRows    bool   `json:"omitRows,omitempty"`
+	Larger          string `json:"larger"`
+	Smaller         string `json:"smaller"`
+	Strategy        string `json:"strategy,omitempty"`
+	Parallelism     *int   `json:"parallelism,omitempty"`
+	Compression     string `json:"compression,omitempty"`
+	Limit           int    `json:"limit,omitempty"`
+	OmitRows        bool   `json:"omitRows,omitempty"`
+	WireCompression string `json:"wireCompression,omitempty"`
 }
 
-// footer is the tail NDJSON line of a response.
+// footer is the tail NDJSON line of a response (the binary leg's
+// footer frame carries the same document).
 type footer struct {
 	RowsStreamed   int   `json:"rowsStreamed"`
 	SharedScanHits int64 `json:"sharedScanHits"`
@@ -64,16 +83,39 @@ type footer struct {
 
 // tally accumulates outcomes across all load goroutines.
 type tally struct {
-	mu        sync.Mutex
-	latencies []time.Duration
-	queueMs   float64
-	serverMs  float64
-	rows      int64
-	hits      int64
+	mu         sync.Mutex
+	latencies  []time.Duration
+	queueMs    float64
+	serverMs   float64
+	rows       int64
+	hits       int64
+	bytes      int64 // response body bytes transferred
+	compFrames int64 // binary column chunks that arrived compressed
 
 	completed atomic.Int64
 	rejected  atomic.Int64 // 429
 	errored   atomic.Int64
+}
+
+// LoadReport is the -json document: one load run, machine-readable.
+// benchjson ingests it for the service-latency gate.
+type LoadReport struct {
+	Cores            int     `json:"cores"`
+	Wire             string  `json:"wire"`
+	DurationS        float64 `json:"duration_s"`
+	Completed        int64   `json:"completed"`
+	QPS              float64 `json:"qps"`
+	Rejected         int64   `json:"rejected"`
+	Errored          int64   `json:"errored"`
+	P50Ms            float64 `json:"p50_ms"`
+	P95Ms            float64 `json:"p95_ms"`
+	P99Ms            float64 `json:"p99_ms"`
+	MeanMs           float64 `json:"mean_ms"`
+	Rows             int64   `json:"rows"`
+	Bytes            int64   `json:"bytes"`
+	MBps             float64 `json:"mbps"`
+	SharedHits       int64   `json:"shared_hits"`
+	CompressedFrames int64   `json:"compressed_frames"`
 }
 
 func main() {
@@ -84,13 +126,26 @@ func main() {
 	strategies := flag.String("strategies", "NSM-post-decluster", "comma-separated strategy mix, cycled per query (canonical names; empty entry = auto)")
 	sources := flag.Int("sources", 1, "relation pairs to spread queries over (joinserve -pairs)")
 	parallelism := flag.Int("parallelism", -1, "per-query parallelism (-1 = planner, 0 = serial)")
-	compression := flag.String("compression", "", "per-query compression: off | auto | on (empty = off)")
+	compression := flag.String("compression", "", "per-query engine compression: off | auto | on (empty = off)")
+	wireFmt := flag.String("wire", "ndjson", "result encoding: ndjson | binary (Accept-negotiated columnar frames, decoded and CRC-verified client-side)")
+	wireCompress := flag.String("wirecompress", "", "binary leg frame compression: off | auto (empty = off)")
 	limit := flag.Int("limit", 0, "rows to stream back per query (0 = all, when -rows)")
 	rows := flag.Bool("rows", false, "stream row chunks back (default asks the server to omit them)")
 	seed := flag.Int64("seed", 1, "arrival-process seed")
+	jsonOut := flag.String("json", "", "write the machine-readable run report to this file")
 	minQueries := flag.Int("minqueries", 0, "fail (exit 1) unless at least this many queries complete")
 	minShared := flag.Int64("minshared", 0, "fail (exit 1) unless the daemon reports at least this many shared-scan hits")
+	minCompFrames := flag.Int64("mincompressedframes", 0, "fail (exit 1) unless binary responses carried at least this many compressed frames")
 	flag.Parse()
+
+	binary := false
+	switch *wireFmt {
+	case "ndjson":
+	case "binary":
+		binary = true
+	default:
+		fail(fmt.Errorf("joinload: -wire %q (want ndjson or binary)", *wireFmt))
+	}
 
 	mix := strings.Split(*strategies, ",")
 	tl := &tally{}
@@ -108,12 +163,23 @@ func main() {
 			Limit:       *limit,
 			OmitRows:    !*rows,
 		}
+		if binary {
+			req.WireCompression = *wireCompress
+		}
 		body, err := json.Marshal(req)
 		if err != nil {
 			fail(err)
 		}
+		hreq, err := http.NewRequest(http.MethodPost, *addr+"/v1/query", bytes.NewReader(body))
+		if err != nil {
+			fail(err)
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		if binary {
+			hreq.Header.Set("Accept", wire.ContentType)
+		}
 		start := time.Now()
-		resp, err := client.Post(*addr+"/v1/query", "application/json", bytes.NewReader(body))
+		resp, err := client.Do(hreq)
 		if err != nil {
 			tl.errored.Add(1)
 			return
@@ -128,21 +194,43 @@ func main() {
 			tl.errored.Add(1)
 			return
 		}
-		// Consume the NDJSON stream; the last line is the footer.
-		sc := bufio.NewScanner(resp.Body)
-		sc.Buffer(make([]byte, 1<<20), 1<<26)
-		var last []byte
-		for sc.Scan() {
-			last = append(last[:0], sc.Bytes()...)
-		}
-		if sc.Err() != nil || last == nil {
-			tl.errored.Add(1)
-			return
-		}
+
 		var foot footer
-		if err := json.Unmarshal(last, &foot); err != nil {
-			tl.errored.Add(1)
-			return
+		var nbytes, compFrames int64
+		if binary {
+			// Decode the frame stream in full: every CRC verified, row
+			// counts checked against the footer. A decode error is a
+			// failed query — the load run is also an integrity check.
+			cr := &countReader{r: resp.Body}
+			d, err := wire.Decode(cr)
+			if err != nil {
+				tl.errored.Add(1)
+				return
+			}
+			foot.RowsStreamed = d.Footer.RowsStreamed
+			foot.SharedScanHits = d.Footer.SharedScanHits
+			foot.Timing.QueueMs = d.Footer.Timing.QueueMs
+			foot.Timing.TotalMs = d.Footer.Timing.TotalMs
+			nbytes = cr.n
+			compFrames = d.Stats.CompressedFrames
+		} else {
+			// Consume the NDJSON stream; the last line is the footer.
+			cr := &countReader{r: resp.Body}
+			sc := bufio.NewScanner(cr)
+			sc.Buffer(make([]byte, 1<<20), 1<<26)
+			var last []byte
+			for sc.Scan() {
+				last = append(last[:0], sc.Bytes()...)
+			}
+			if sc.Err() != nil || last == nil {
+				tl.errored.Add(1)
+				return
+			}
+			if err := json.Unmarshal(last, &foot); err != nil {
+				tl.errored.Add(1)
+				return
+			}
+			nbytes = cr.n
 		}
 		elapsed := time.Since(start)
 		tl.completed.Add(1)
@@ -152,6 +240,8 @@ func main() {
 		tl.serverMs += foot.Timing.TotalMs
 		tl.rows += int64(foot.RowsStreamed)
 		tl.hits += foot.SharedScanHits
+		tl.bytes += nbytes
+		tl.compFrames += compFrames
 		tl.mu.Unlock()
 	}
 
@@ -161,7 +251,7 @@ func main() {
 		// Open loop: exponential gaps around the target rate; every
 		// arrival gets its own goroutine so slow responses never slow
 		// the arrival process down.
-		fmt.Printf("joinload: open loop at %.1f q/s for %v against %s\n", *rate, *duration, *addr)
+		fmt.Printf("joinload: open loop at %.1f q/s for %v against %s (wire=%s)\n", *rate, *duration, *addr, *wireFmt)
 		rng := rand.New(rand.NewSource(*seed))
 		for time.Now().Before(deadline) {
 			wg.Add(1)
@@ -169,7 +259,7 @@ func main() {
 			time.Sleep(time.Duration(rng.ExpFloat64() / *rate * float64(time.Second)))
 		}
 	} else {
-		fmt.Printf("joinload: closed loop, %d clients for %v against %s\n", *concurrency, *duration, *addr)
+		fmt.Printf("joinload: closed loop, %d clients for %v against %s (wire=%s)\n", *concurrency, *duration, *addr, *wireFmt)
 		for c := 0; c < *concurrency; c++ {
 			wg.Add(1)
 			go func() {
@@ -181,15 +271,35 @@ func main() {
 		}
 	}
 	wg.Wait()
-	report(tl, *addr, *duration, *minQueries, *minShared)
+	report(tl, *addr, *wireFmt, *duration, *jsonOut, *minQueries, *minShared, *minCompFrames)
 }
 
-func report(tl *tally, addr string, dur time.Duration, minQueries int, minShared int64) {
+// countReader counts bytes as they stream through.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func report(tl *tally, addr, wireFmt string, dur time.Duration, jsonOut string, minQueries int, minShared, minCompFrames int64) {
 	n := tl.completed.Load()
 	fmt.Printf("completed %d queries (%.1f q/s), %d rejected (429), %d errored\n",
 		n, float64(n)/dur.Seconds(), tl.rejected.Load(), tl.errored.Load())
 	tl.mu.Lock()
 	defer tl.mu.Unlock()
+	rep := LoadReport{
+		Cores: runtime.NumCPU(), Wire: wireFmt, DurationS: dur.Seconds(),
+		Completed: n, QPS: float64(n) / dur.Seconds(),
+		Rejected: tl.rejected.Load(), Errored: tl.errored.Load(),
+		Rows: tl.rows, Bytes: tl.bytes,
+		MBps:             float64(tl.bytes) / (1 << 20) / dur.Seconds(),
+		CompressedFrames: tl.compFrames,
+	}
 	if n > 0 {
 		sort.Slice(tl.latencies, func(i, j int) bool { return tl.latencies[i] < tl.latencies[j] })
 		var sum time.Duration
@@ -200,12 +310,18 @@ func report(tl *tally, addr string, dur time.Duration, minQueries int, minShared
 			i := int(p * float64(len(tl.latencies)-1))
 			return tl.latencies[i]
 		}
+		rep.P50Ms = ms(pct(0.50))
+		rep.P95Ms = ms(pct(0.95))
+		rep.P99Ms = ms(pct(0.99))
+		rep.MeanMs = ms(sum / time.Duration(n))
 		fmt.Printf("latency: p50=%v p95=%v p99=%v mean=%v max=%v\n",
 			pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
 			pct(0.99).Round(time.Microsecond), (sum / time.Duration(n)).Round(time.Microsecond),
 			tl.latencies[len(tl.latencies)-1].Round(time.Microsecond))
-		fmt.Printf("server side: %.1fms engine time per query, %.1f%% of it queueing; %d rows streamed; %d shared-scan hits across responses\n",
-			tl.serverMs/float64(n), pctOf(tl.queueMs, tl.serverMs), tl.rows, tl.hits)
+		fmt.Printf("transfer: %d rows, %.1f MiB (%.1f MB/s), %d compressed frames\n",
+			tl.rows, float64(tl.bytes)/(1<<20), rep.MBps, tl.compFrames)
+		fmt.Printf("server side: %.1fms engine time per query, %.1f%% of it queueing; %d shared-scan hits across responses\n",
+			tl.serverMs/float64(n), pctOf(tl.queueMs, tl.serverMs), tl.hits)
 	}
 
 	// The daemon's own view: lifetime shared-scan hits and counters.
@@ -216,18 +332,33 @@ func report(tl *tally, addr string, dur time.Duration, minQueries int, minShared
 			BatchWindows   int64 `json:"batchWindows"`
 			BatchedQueries int64 `json:"batchedQueries"`
 			Rejected       int64 `json:"queriesRejected"`
+			ResultsBinary  int64 `json:"resultsBinary"`
+			WireBytes      int64 `json:"wireBytes"`
 		} `json:"server"`
 	}
 	resp, err := http.Get(addr + "/v1/status")
 	if err == nil {
 		if json.NewDecoder(resp.Body).Decode(&st) == nil {
 			daemonHits = st.SharedScanHits
-			fmt.Printf("daemon: %d shared-scan hits lifetime, %d batch windows, %d batched riders, %d rejected\n",
-				st.SharedScanHits, st.Server.BatchWindows, st.Server.BatchedQueries, st.Server.Rejected)
+			fmt.Printf("daemon: %d shared-scan hits lifetime, %d batch windows, %d batched riders, %d rejected, %d binary results (%d wire bytes)\n",
+				st.SharedScanHits, st.Server.BatchWindows, st.Server.BatchedQueries,
+				st.Server.Rejected, st.Server.ResultsBinary, st.Server.WireBytes)
 		}
 		resp.Body.Close()
 	} else {
 		fmt.Fprintf(os.Stderr, "joinload: status scrape: %v\n", err)
+	}
+	rep.SharedHits = daemonHits
+
+	if jsonOut != "" {
+		doc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(jsonOut, append(doc, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("report written to %s\n", jsonOut)
 	}
 
 	if n < int64(minQueries) {
@@ -236,7 +367,13 @@ func report(tl *tally, addr string, dur time.Duration, minQueries int, minShared
 	if minShared > 0 && daemonHits < minShared {
 		fail(fmt.Errorf("daemon shared-scan hits %d below required -minshared %d", daemonHits, minShared))
 	}
+	if minCompFrames > 0 && tl.compFrames < minCompFrames {
+		fail(fmt.Errorf("binary responses carried %d compressed frames, below required -mincompressedframes %d",
+			tl.compFrames, minCompFrames))
+	}
 }
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 func pctOf(part, whole float64) float64 {
 	if whole <= 0 {

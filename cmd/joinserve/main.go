@@ -6,7 +6,10 @@
 //
 // Endpoints, all on one listener:
 //
-//	POST /v1/query      execute a project-join; NDJSON streamed result
+//	POST /v1/query      execute a project-join; streamed result as
+//	                    NDJSON, or as the binary columnar frame format
+//	                    (internal/wire) when the client sends
+//	                    Accept: application/x-radix-columnar
 //	GET  /v1/relations  the registered relations
 //	GET  /v1/status     queue depth, scheduler/arena/sharing counters
 //	GET  /metrics       Prometheus exposition: runtime + server series
@@ -61,7 +64,7 @@ func main() {
 	window := flag.Duration("window", 2*time.Millisecond, "arrival-batching window: same-source queries arriving within it dispatch together as a shared-scan group (0 = off)")
 	watermark := flag.Int("watermark", 0, "backpressure watermark: 429 once the admission queue is this deep (0 = 2x the admission bound)")
 	maxBody := flag.Int64("maxbody", 0, "request body cap in bytes (0 = 1 MiB)")
-	chunkRows := flag.Int("chunkrows", 0, "result rows per streamed NDJSON chunk (0 = 8192)")
+	chunkRows := flag.Int("chunkrows", 0, "result rows per streamed chunk, both encodings (0 = 8192)")
 	drainTimeout := flag.Duration("draintimeout", 30*time.Second, "max wait for in-flight queries on shutdown")
 	flag.Parse()
 

@@ -66,18 +66,79 @@ const headerBytes = 12
 
 // Compress encodes a column block-by-block with the given scheme.
 func Compress(values []int32, scheme Scheme) ([]byte, error) {
+	return AppendCompress(nil, values, scheme)
+}
+
+// AppendCompress encodes a column block-by-block with the given scheme,
+// appending the encoded stream to dst (which may be pre-sized scratch —
+// callers on a pooled encode path pass recycled buffers sized by
+// EstimateBytes so the append never reallocates).
+func AppendCompress(dst []byte, values []int32, scheme Scheme) ([]byte, error) {
 	if scheme != FOR && scheme != DeltaFOR {
 		return nil, fmt.Errorf("compress: unknown scheme %d", scheme)
 	}
-	var out []byte
 	for start := 0; start < len(values); start += BlockSize {
 		end := start + BlockSize
 		if end > len(values) {
 			end = len(values)
 		}
-		out = appendBlock(out, values[start:end], scheme)
+		dst = appendBlock(dst, values[start:end], scheme)
 	}
-	return out, nil
+	return dst, nil
+}
+
+// EstimateBytes returns the exact encoded byte size Compress would
+// produce for values under scheme, in one allocation-free pass: each
+// block's bit width is determined by the spread max-min of its packed
+// entries (offsets from the block minimum for FOR, consecutive deltas
+// for DeltaFOR), so a min/max sweep prices the block without packing
+// a single bit. Callers choosing a scheme per frame compare both
+// estimates and then encode once.
+func EstimateBytes(values []int32, scheme Scheme) int {
+	total := 0
+	for start := 0; start < len(values); start += BlockSize {
+		end := start + BlockSize
+		if end > len(values) {
+			end = len(values)
+		}
+		block := values[start:end]
+		var lo, hi int32
+		packed := len(block)
+		if scheme == DeltaFOR {
+			packed = len(block) - 1
+			if packed > 0 {
+				d0 := block[1] - block[0]
+				lo, hi = d0, d0
+				for i := 2; i < len(block); i++ {
+					d := block[i] - block[i-1]
+					if d < lo {
+						lo = d
+					}
+					if d > hi {
+						hi = d
+					}
+				}
+			}
+		} else if packed > 0 {
+			lo, hi = block[0], block[0]
+			for _, v := range block[1:] {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+		}
+		width := 0
+		if packed > 0 {
+			// hi-lo wraps exactly as appendBlock's per-entry v-ref does,
+			// and uint32(hi-lo) is its maximum over the block.
+			width = bits.Len32(uint32(hi - lo))
+		}
+		total += headerBytes + (packed*width+7)/8
+	}
+	return total
 }
 
 // Decompress decodes a full column. Corrupt input (unknown scheme,

@@ -1,0 +1,7 @@
+//go:build !race
+
+package server
+
+// raceEnabled reports whether the race detector instruments this
+// build; throughput-ratio assertions skip themselves under it.
+const raceEnabled = false

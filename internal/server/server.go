@@ -13,8 +13,10 @@
 //     memory-pool statistics.
 //   - An arrival-batching window (batch.go) that coalesces
 //     same-source arrivals into shared-scan groups, and chunked
-//     NDJSON result streaming so large projections are encoded and
-//     flushed chunk by chunk instead of buffered whole.
+//     result streaming — NDJSON by default, or the binary columnar
+//     wire format (internal/wire) when the client negotiates it via
+//     Accept — so large projections are encoded and flushed chunk by
+//     chunk instead of buffered whole.
 //   - Explicit backpressure and drain: 429 + Retry-After once the
 //     admission queue crosses a watermark, 503 during drain, and a
 //     Drain that waits for in-flight queries so SIGTERM never kills a
@@ -39,6 +41,7 @@ import (
 
 	rd "radixdecluster"
 
+	"radixdecluster/internal/mempool"
 	"radixdecluster/internal/obs"
 )
 
@@ -95,8 +98,23 @@ type Server struct {
 	drained   atomic.Int64 // 503 during drain
 	rows      atomic.Int64 // result rows streamed
 
-	reg *obs.Registry // server-level metric series
-	hm  *obs.HTTPMetrics
+	// Result-encoding counters: which leg served each result, and the
+	// binary leg's wire accounting (frames, bytes on the wire, bytes
+	// that went out block-compressed).
+	resultsNDJSON atomic.Int64
+	resultsBinary atomic.Int64
+	wireFrames    atomic.Int64
+	wireBytes     atomic.Int64
+	wireCompBytes atomic.Int64
+
+	// encPool backs per-request binary encode scratch: each streaming
+	// handler takes a lease, compressed frames encode into recycled
+	// size-classed buffers, and the lease releases on handler exit.
+	encPool *mempool.Pool
+
+	reg    *obs.Registry // server-level metric series
+	hm     *obs.HTTPMetrics
+	aborts *obs.CounterVec // mid-stream failures by reason
 }
 
 // New builds a server around cfg.Runtime.
@@ -114,11 +132,12 @@ func New(cfg Config) (*Server, error) {
 		cfg.ChunkRows = 8192
 	}
 	s := &Server{
-		cfg:   cfg,
-		start: time.Now(),
-		rels:  make(map[string]*rd.Relation),
-		batch: newBatcher(cfg.BatchWindow),
-		reg:   obs.NewRegistry(),
+		cfg:     cfg,
+		start:   time.Now(),
+		rels:    make(map[string]*rd.Relation),
+		batch:   newBatcher(cfg.BatchWindow),
+		reg:     obs.NewRegistry(),
+		encPool: mempool.New(0),
 	}
 	s.hm = obs.NewHTTPMetrics(s.reg, "radixdecluster_server")
 	s.reg.CounterFunc("radixdecluster_server_queries_accepted_total",
@@ -136,6 +155,24 @@ func New(cfg Config) (*Server, error) {
 	s.reg.CounterFunc("radixdecluster_server_result_rows_total",
 		"Result rows streamed to clients.",
 		func() float64 { return float64(s.rows.Load()) })
+	s.reg.CounterFuncs("radixdecluster_server_results_total",
+		"Results streamed, by negotiated encoding.", "format",
+		[]obs.FuncSeries{
+			{Label: "ndjson", Fn: func() float64 { return float64(s.resultsNDJSON.Load()) }},
+			{Label: "binary", Fn: func() float64 { return float64(s.resultsBinary.Load()) }},
+		})
+	s.reg.CounterFunc("radixdecluster_server_wire_frames_total",
+		"Binary columnar frames written (header, column chunk and footer frames).",
+		func() float64 { return float64(s.wireFrames.Load()) })
+	s.reg.CounterFunc("radixdecluster_server_wire_bytes_total",
+		"Bytes written on the binary columnar leg, frame envelopes included.",
+		func() float64 { return float64(s.wireBytes.Load()) })
+	s.reg.CounterFunc("radixdecluster_server_wire_compressed_bytes_total",
+		"Encoded payload bytes of column chunks that went out block-compressed.",
+		func() float64 { return float64(s.wireCompBytes.Load()) })
+	s.aborts = s.reg.CounterVec("radixdecluster_server_stream_aborts_total",
+		"Result streams aborted mid-flight, by reason: disconnect (client went away) or encode (serialisation failed).",
+		"reason")
 	s.reg.GaugeFunc("radixdecluster_server_draining",
 		"1 while the server is draining (rejecting new queries), else 0.",
 		func() float64 {
@@ -271,6 +308,11 @@ type ServerStatus struct {
 	Rejected429    int64   `json:"queriesRejected"`
 	RejectedDrain  int64   `json:"queriesRejectedDraining"`
 	RowsStreamed   int64   `json:"rowsStreamed"`
+	ResultsNDJSON  int64   `json:"resultsNDJSON"`
+	ResultsBinary  int64   `json:"resultsBinary"`
+	WireFrames     int64   `json:"wireFrames"`
+	WireBytes      int64   `json:"wireBytes"`
+	WireCompBytes  int64   `json:"wireCompressedBytes"`
 	BatchWindowMs  float64 `json:"batchWindowMs"`
 	BatchWindows   int64   `json:"batchWindows"`
 	BatchedQueries int64   `json:"batchedQueries"`
@@ -319,6 +361,11 @@ func (s *Server) Status() Status {
 			Rejected429:    s.rejected.Load(),
 			RejectedDrain:  s.drained.Load(),
 			RowsStreamed:   s.rows.Load(),
+			ResultsNDJSON:  s.resultsNDJSON.Load(),
+			ResultsBinary:  s.resultsBinary.Load(),
+			WireFrames:     s.wireFrames.Load(),
+			WireBytes:      s.wireBytes.Load(),
+			WireCompBytes:  s.wireCompBytes.Load(),
 			BatchWindowMs:  float64(s.cfg.BatchWindow) / float64(time.Millisecond),
 			BatchWindows:   opened,
 			BatchedQueries: riders,

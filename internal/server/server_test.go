@@ -21,7 +21,7 @@ import (
 
 // testRelations builds a registered larger/smaller pair from the
 // synthetic workload generator: "key" plus payload columns a1..a{pi}.
-func testRelations(t *testing.T, n, pi int) (*rd.Relation, *rd.Relation) {
+func testRelations(t testing.TB, n, pi int) (*rd.Relation, *rd.Relation) {
 	t.Helper()
 	pr, err := workload.GenPair(workload.Params{
 		N: n, Omega: pi + 1, HitRate: 1, SelLarger: 1, SelSmaller: 1, Seed: 42,
@@ -44,7 +44,7 @@ func testRelations(t *testing.T, n, pi int) (*rd.Relation, *rd.Relation) {
 }
 
 // newTestServer assembles runtime + server + httptest listener.
-func newTestServer(t *testing.T, rtCfg rd.RuntimeConfig, cfg Config, n, pi int) (*Server, *httptest.Server) {
+func newTestServer(t testing.TB, rtCfg rd.RuntimeConfig, cfg Config, n, pi int) (*Server, *httptest.Server) {
 	t.Helper()
 	rtCfg.Metrics = true
 	rt := rd.NewRuntime(rtCfg)

@@ -1,0 +1,227 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	rd "radixdecluster"
+
+	"radixdecluster/internal/wire"
+)
+
+// postBinary POSTs a query negotiating the binary columnar encoding.
+func postBinary(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/query", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", wire.ContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// The core equivalence contract: for every strategy, on a shared
+// runtime, the binary leg's decoded rows are byte-identical to the
+// NDJSON leg's — same header cardinality, same column values in the
+// same order, same footer row count. Run with -race in CI.
+func TestBinaryNDJSONEquivalence(t *testing.T) {
+	_, ts := newTestServer(t, rd.RuntimeConfig{
+		Workers: 2, MaxConcurrentQueries: 2, ShareScans: true,
+	}, Config{ChunkRows: 100}, 2000, 2)
+
+	strategies := []string{
+		"DSM-post-decluster", "DSM-pre", "NSM-pre-hash",
+		"NSM-pre-phash", "NSM-post-decluster", "NSM-post-jive",
+	}
+	for _, strat := range strategies {
+		for _, comp := range []string{"off", "auto"} {
+			t.Run(strat+"/"+comp, func(t *testing.T) {
+				body := `{"larger":"larger","smaller":"smaller","strategy":"` +
+					strat + `","wireCompression":"` + comp + `"}`
+
+				nresp := postQuery(t, ts.URL, body)
+				defer nresp.Body.Close()
+				if nresp.StatusCode != 200 {
+					b, _ := io.ReadAll(nresp.Body)
+					t.Fatalf("ndjson status %d: %s", nresp.StatusCode, b)
+				}
+				want := parseNDJSON(t, nresp.Body)
+
+				bresp := postBinary(t, ts.URL, body)
+				defer bresp.Body.Close()
+				if bresp.StatusCode != 200 {
+					b, _ := io.ReadAll(bresp.Body)
+					t.Fatalf("binary status %d: %s", bresp.StatusCode, b)
+				}
+				if ct := bresp.Header.Get("Content-Type"); ct != wire.ContentType {
+					t.Fatalf("Content-Type = %q, want %q", ct, wire.ContentType)
+				}
+				got, err := wire.Decode(bresp.Body)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if got.Header.N != want.header.N || got.Header.Plan != want.header.Plan {
+					t.Fatalf("header %+v, want %+v", got.Header, want.header)
+				}
+				if got.Rows != len(want.rows) {
+					t.Fatalf("rows = %d, want %d", got.Rows, len(want.rows))
+				}
+				if len(got.Cols) != len(want.header.Names) {
+					t.Fatalf("cols = %d, want %d", len(got.Cols), len(want.header.Names))
+				}
+				for i, row := range want.rows {
+					for c := range row {
+						if got.Cols[c][i] != row[c] {
+							t.Fatalf("%s: col %d row %d = %d, ndjson says %d",
+								strat, c, i, got.Cols[c][i], row[c])
+						}
+					}
+				}
+				if got.Footer.RowsStreamed != want.footer.RowsStreamed {
+					t.Fatalf("footer rows %d, want %d", got.Footer.RowsStreamed, want.footer.RowsStreamed)
+				}
+				if got.Footer.Timing.TotalMs <= 0 {
+					t.Fatal("binary footer timing missing")
+				}
+			})
+		}
+	}
+}
+
+// Negotiation and request semantics on the binary leg: Accept variants
+// select the encoding, Limit/OmitRows trim the transfer, auto
+// compression kicks in on the workload's smooth payload columns, and
+// the wire counters move.
+func TestBinaryNegotiationAndSemantics(t *testing.T) {
+	_, ts := newTestServer(t, rd.RuntimeConfig{Workers: 2, MaxConcurrentQueries: 2},
+		Config{ChunkRows: 1024}, 4000, 2)
+	base := `{"larger":"larger","smaller":"smaller","parallelism":0`
+
+	// Accept with q-params and extra members still negotiates binary.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/query", strings.NewReader(base+`}`))
+	req.Header.Set("Accept", "application/json;q=0.5, "+wire.ContentType+";q=0.9")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != wire.ContentType {
+		t.Fatalf("q-param Accept: Content-Type = %q", ct)
+	}
+	if _, err := wire.Decode(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// No Accept (http.Post default) stays NDJSON.
+	nresp := postQuery(t, ts.URL, base+`}`)
+	if ct := nresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("default Content-Type = %q", ct)
+	}
+	io.Copy(io.Discard, nresp.Body) //nolint:errcheck
+	nresp.Body.Close()
+
+	// Bad wireCompression is a 400.
+	bresp := postBinary(t, ts.URL, base+`,"wireCompression":"zstd"}`)
+	if bresp.StatusCode != 400 {
+		t.Fatalf("wireCompression=zstd: status %d, want 400", bresp.StatusCode)
+	}
+	io.Copy(io.Discard, bresp.Body) //nolint:errcheck
+	bresp.Body.Close()
+
+	// Limit trims the transfer, not the result.
+	bresp = postBinary(t, ts.URL, base+`,"limit":37}`)
+	lim, err := wire.Decode(bresp.Body)
+	bresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lim.Rows != 37 || lim.Header.N != 4000 || lim.Footer.RowsStreamed != 37 {
+		t.Fatalf("limit: rows=%d n=%d footer=%d", lim.Rows, lim.Header.N, lim.Footer.RowsStreamed)
+	}
+
+	// OmitRows: header and footer frames only.
+	bresp = postBinary(t, ts.URL, base+`,"omitRows":true}`)
+	omit, err := wire.Decode(bresp.Body)
+	bresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if omit.Rows != 0 || omit.Stats.Frames != 2 {
+		t.Fatalf("omitRows: rows=%d frames=%d", omit.Rows, omit.Stats.Frames)
+	}
+
+	// Auto compression compresses the smooth payload columns and the
+	// status counters reflect everything this test streamed.
+	bresp = postBinary(t, ts.URL, base+`,"wireCompression":"auto"}`)
+	auto, err := wire.Decode(bresp.Body)
+	bresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Stats.CompressedFrames == 0 || auto.Stats.SavedBytes <= 0 {
+		t.Fatalf("auto compression idle on workload payloads: %+v", auto.Stats)
+	}
+
+	st := getStatus(t, ts.URL)
+	if st.Server.ResultsBinary != 4 || st.Server.ResultsNDJSON != 1 {
+		t.Fatalf("results counters = %+v", st.Server)
+	}
+	if st.Server.WireFrames == 0 || st.Server.WireBytes == 0 || st.Server.WireCompBytes == 0 {
+		t.Fatalf("wire counters idle: %+v", st.Server)
+	}
+}
+
+// errWriter fails after the first n writes — a stand-in for a client
+// that disconnects mid-stream.
+type errWriter struct {
+	n int
+}
+
+func (w *errWriter) Header() http.Header { return http.Header{} }
+func (w *errWriter) WriteHeader(int)     {}
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("broken pipe")
+	}
+	w.n--
+	return len(p), nil
+}
+
+// Mid-stream failures are counted, not swallowed: a failing write is a
+// "disconnect", an unencodable document would be an "encode". Both
+// legs feed radixdecluster_server_stream_aborts_total{reason}.
+func TestStreamAbortsCounted(t *testing.T) {
+	s, _ := newTestServer(t, rd.RuntimeConfig{Workers: 1, MaxConcurrentQueries: 1},
+		Config{ChunkRows: 16}, 512, 1)
+	larger, _ := s.relation("larger")
+	smaller, _ := s.relation("smaller")
+	res, err := rd.ProjectJoin(rd.JoinQuery{
+		Larger: larger, Smaller: smaller, LargerKey: "key", SmallerKey: "key",
+		LargerProject: []string{"a1"}, SmallerProject: []string{"a1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &QueryRequest{}
+
+	s.streamNDJSON(&errWriter{n: 2}, req, res)
+	if v := s.aborts.With("disconnect").Value(); v != 1 {
+		t.Fatalf("ndjson disconnect aborts = %v, want 1", v)
+	}
+	s.streamBinary(&errWriter{n: 1}, req, res, wire.CompressOff)
+	if v := s.aborts.With("disconnect").Value(); v != 2 {
+		t.Fatalf("binary disconnect aborts = %v, want 2", v)
+	}
+	if v := s.aborts.With("encode").Value(); v != 0 {
+		t.Fatalf("encode aborts = %v, want 0", v)
+	}
+}
